@@ -1,0 +1,118 @@
+// Command apkinspect is the baksmali/apktool analogue: it unpacks an APK
+// archive, prints the manifest and content summary, and optionally dumps
+// the smali IR of a class or the disassembly of a native library.
+//
+// Usage:
+//
+//	apkinspect app.apk                 # summary
+//	apkinspect -smali com.foo.Main app.apk
+//	apkinspect -lib libshell.so app.apk
+//	apkinspect -fixed app.apk          # use the decompiler version that
+//	                                   # survives anti-decompilation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/dydroid/dydroid/internal/apktool"
+	"github.com/dydroid/dydroid/internal/nativebin"
+	"github.com/dydroid/dydroid/internal/obfuscation"
+)
+
+func main() {
+	smali := flag.String("smali", "", "print the smali IR of this class")
+	lib := flag.String("lib", "", "print the disassembly of this native library")
+	fixed := flag.Bool("fixed", false, "use the fixed decompiler version")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: apkinspect [flags] app.apk")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *smali, *lib, *fixed); err != nil {
+		fmt.Fprintln(os.Stderr, "apkinspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, path, smali, lib string, fixed bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	tool := apktool.Tool{}
+	if fixed {
+		tool.Version = apktool.FixedVersion
+	}
+	u, err := tool.Unpack(data)
+	if err != nil {
+		return err
+	}
+	switch {
+	case smali != "":
+		src, ok := u.Smali[smali]
+		if !ok {
+			return fmt.Errorf("no class %s (have %d classes)", smali, len(u.Smali))
+		}
+		fmt.Fprint(w, src)
+		return nil
+	case lib != "":
+		libBytes, ok := u.APK.NativeLibs[lib]
+		if !ok {
+			return fmt.Errorf("no native library %s", lib)
+		}
+		l, err := nativebin.Decode(libBytes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, nativebin.Disassemble(l))
+		return nil
+	}
+
+	m := u.APK.Manifest
+	fmt.Fprintf(w, "package:    %s (versionCode %d, minSdk %d)\n", m.Package, m.VersionCode, m.MinSDK)
+	if m.Application.Name != "" {
+		fmt.Fprintf(w, "app class:  %s  <- runs before all components\n", m.Application.Name)
+	}
+	for _, p := range m.Permissions {
+		fmt.Fprintf(w, "permission: %s\n", p.Name)
+	}
+	for _, c := range m.Components() {
+		fmt.Fprintf(w, "component:  %-9s %s\n", c.Kind, c.Name)
+	}
+	var classes []string
+	for name := range u.Smali {
+		classes = append(classes, name)
+	}
+	sort.Strings(classes)
+	for _, name := range classes {
+		fmt.Fprintf(w, "class:      %s\n", name)
+	}
+	var assets []string
+	for name := range u.APK.Assets {
+		assets = append(assets, name)
+	}
+	sort.Strings(assets)
+	for _, name := range assets {
+		fmt.Fprintf(w, "asset:      %s (%d bytes)\n", name, len(u.APK.Assets[name]))
+	}
+	var libs []string
+	for name := range u.APK.NativeLibs {
+		libs = append(libs, name)
+	}
+	sort.Strings(libs)
+	for _, name := range libs {
+		fmt.Fprintf(w, "native lib: %s (%d bytes)\n", name, len(u.APK.NativeLibs[name]))
+	}
+
+	f := obfuscation.PreFilter(u)
+	fmt.Fprintf(w, "pre-filter: dex-dcl=%v native-dcl=%v\n", f.HasDexDCL, f.HasNativeDCL)
+	var det obfuscation.Detector
+	rep := det.AnalyzeUnpacked(u)
+	fmt.Fprintf(w, "obfuscation: lexical=%v (meaningful %.0f%%) reflection=%v native=%v dex-encryption=%v\n",
+		rep.Lexical, rep.MeaningfulFraction*100, rep.Reflection, rep.Native, rep.DEXEncryption)
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/nativebin"
+	"github.com/dydroid/dydroid/internal/obfuscation"
+)
+
+func writeTestAPK(t *testing.T) string {
+	t.Helper()
+	b := dex.NewBuilder()
+	m := b.Class("com.inspect.Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m.NewInstance(1, "dalvik.system.DexClassLoader").ReturnVoid().Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := nativebin.NewBuilder("libdemo.so", "arm")
+	nb.Symbol("JNI_OnLoad").MovI(0, 0).Ret()
+	libBytes, err := nativebin.Encode(nb.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &apk.APK{
+		Manifest: apk.Manifest{Package: "com.inspect", MinSDK: 16,
+			Permissions: []apk.UsesPerm{{Name: "android.permission.INTERNET"}},
+			Application: apk.Application{Activities: []apk.Component{{Name: "com.inspect.Main", Main: true}}}},
+		Dex:        dexBytes,
+		Assets:     map[string][]byte{"cfg.bin": {1, 2, 3}},
+		NativeLibs: map[string][]byte{"libdemo.so": libBytes},
+	}
+	data, err := apk.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "demo.apk")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInspectSummary(t *testing.T) {
+	path := writeTestAPK(t)
+	var out strings.Builder
+	if err := run(&out, path, "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package:    com.inspect",
+		"permission: android.permission.INTERNET",
+		"component:  activity  com.inspect.Main",
+		"class:      com.inspect.Main",
+		"asset:      cfg.bin (3 bytes)",
+		"native lib: libdemo.so",
+		"pre-filter: dex-dcl=true native-dcl=true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestInspectSmaliAndLib(t *testing.T) {
+	path := writeTestAPK(t)
+	var out strings.Builder
+	if err := run(&out, path, "com.inspect.Main", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ".class public Lcom/inspect/Main;") {
+		t.Fatalf("smali output wrong:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(&out, path, "", "libdemo.so", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "JNI_OnLoad:") {
+		t.Fatalf("lib disassembly wrong:\n%s", out.String())
+	}
+	if err := run(&out, path, "com.missing.Class", "", false); err == nil {
+		t.Fatal("missing class accepted")
+	}
+	if err := run(&out, path, "", "libnone.so", false); err == nil {
+		t.Fatal("missing lib accepted")
+	}
+}
+
+func TestInspectAntiDecompileNeedsFixedVersion(t *testing.T) {
+	// An anti-decompilation sample crashes the default tool but not -fixed.
+	b := dex.NewBuilder()
+	b.Class("com.adx.Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &apk.APK{
+		Manifest: apk.Manifest{Package: "com.adx",
+			Application: apk.Application{Activities: []apk.Component{{Name: "com.adx.Main", Main: true}}}},
+		Dex: dexBytes,
+	}
+	ob, err := obfuscation.AddAntiDecompilation(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := apk.Build(ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "adx.apk")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, path, "", "", false); err == nil {
+		t.Fatal("buggy tool survived anti-decompilation")
+	}
+	if err := run(&out, path, "", "", true); err != nil {
+		t.Fatalf("-fixed tool failed: %v", err)
+	}
+}

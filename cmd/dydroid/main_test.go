@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/corpus"
+)
+
+func TestPrintResultRendersFindings(t *testing.T) {
+	st, err := corpus.Generate(corpus.Config{Seed: 3, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := st.TrainingSet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := core.NewAnalyzer(core.Options{
+		Seed: 3, Classifier: clf, Network: st.Network, SetupDevice: st.SetupDevice,
+	})
+	// Pick the chathook sample: it exercises every report section.
+	for _, app := range st.Apps {
+		if app.Spec.MalwareFamily != "chathook" {
+			continue
+		}
+		data, err := st.BuildAPK(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := an.AnalyzeAPK(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		printResult(&out, "chathook.apk", res)
+		for _, want := range []string{
+			"== chathook.apk", "status: exercised", "DCL native",
+			"MALWARE native: Chathook ptrace", "runtime event: root",
+			"runtime event: ptrace",
+		} {
+			if !strings.Contains(out.String(), want) {
+				t.Fatalf("report missing %q:\n%s", want, out.String())
+			}
+		}
+		return
+	}
+	t.Fatal("no chathook app in the store")
+}

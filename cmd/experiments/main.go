@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures by running the full DyDroid pipeline over a freshly generated
+// marketplace.
+//
+// Usage:
+//
+//	experiments [-scale 1.0] [-seed 2016] [-workers N] [-table N | -figure 3] [-o report.txt]
+//
+// With no -table/-figure flag the complete report (Tables I-X and
+// Figure 3) is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"github.com/dydroid/dydroid/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "marketplace scale (1.0 = the paper's 58,739 apps)")
+	seed := flag.Int64("seed", 2016, "generation and fuzzing seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel pipeline workers")
+	table := flag.Int("table", 0, "print only this table (1-10)")
+	figure := flag.Int("figure", 0, "print only this figure (3)")
+	out := flag.String("o", "", "write the report to a file instead of stdout")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers}
+	if !*quiet {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\ranalyzed %d/%d apps", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res, err := experiments.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	var report string
+	switch {
+	case *figure == 3:
+		report = res.Figure3()
+	case *table != 0:
+		sections := map[int]func() string{
+			1: res.TableI, 2: res.TableII, 3: res.TableIII, 4: res.TableIV,
+			5: res.TableV, 6: res.TableVI, 7: res.TableVII, 8: res.TableVIII,
+			9: res.TableIX, 10: res.TableX,
+		}
+		fn, ok := sections[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: no table %d\n", *table)
+			os.Exit(2)
+		}
+		report = fn()
+	default:
+		report = res.Report()
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+		return
+	}
+	fmt.Print(report)
+}

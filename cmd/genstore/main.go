@@ -1,0 +1,81 @@
+// Command genstore materializes a synthetic marketplace to disk: one APK
+// archive per app, a metadata CSV, and the remote payloads the simulated
+// Baidu ad server would deliver.
+//
+// Usage:
+//
+//	genstore -out ./store [-scale 0.01] [-seed 2016]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/dydroid/dydroid/internal/corpus"
+)
+
+func main() {
+	out := flag.String("out", "store", "output directory")
+	scale := flag.Float64("scale", 0.01, "marketplace scale (1.0 = 58,739 apps)")
+	seed := flag.Int64("seed", 2016, "generation seed")
+	flag.Parse()
+
+	if err := run(*out, *scale, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "genstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, scale float64, seed int64) error {
+	st, err := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		return err
+	}
+	apkDir := filepath.Join(out, "apks")
+	if err := os.MkdirAll(apkDir, 0o755); err != nil {
+		return err
+	}
+	metaFile, err := os.Create(filepath.Join(out, "metadata.csv"))
+	if err != nil {
+		return err
+	}
+	defer metaFile.Close()
+	w := csv.NewWriter(metaFile)
+	if err := w.Write([]string{"package", "category", "downloads", "num_ratings",
+		"avg_rating", "release_date", "archetype"}); err != nil {
+		return err
+	}
+	for i, app := range st.Apps {
+		data, err := st.BuildAPK(app)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app.Spec.Pkg, err)
+		}
+		name := filepath.Join(apkDir, app.Spec.Pkg+".apk")
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return err
+		}
+		if err := w.Write([]string{
+			app.Meta.Package, app.Meta.Category,
+			strconv.FormatInt(app.Meta.Downloads, 10),
+			strconv.Itoa(app.Meta.NumRatings),
+			strconv.FormatFloat(app.Meta.AvgRating, 'f', 2, 64),
+			app.Meta.ReleaseDate.Format("2006-01-02"),
+			app.Spec.Archetype,
+		}); err != nil {
+			return err
+		}
+		if (i+1)%500 == 0 {
+			fmt.Fprintf(os.Stderr, "\rwrote %d/%d apps", i+1, len(st.Apps))
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "\rwrote %d apps to %s\n", len(st.Apps), apkDir)
+	return nil
+}

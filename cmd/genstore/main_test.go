@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenstoreWritesStore(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 0.001, 7); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(filepath.Join(dir, "metadata.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("metadata rows = %d", len(rows))
+	}
+	if strings.Join(rows[0], ",") !=
+		"package,category,downloads,num_ratings,avg_rating,release_date,archetype" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	apks, err := filepath.Glob(filepath.Join(dir, "apks", "*.apk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apks) != len(rows)-1 {
+		t.Fatalf("apk files = %d, metadata rows = %d", len(apks), len(rows)-1)
+	}
+	// Every written archive must be non-empty.
+	for _, p := range apks[:min(5, len(apks))] {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("bad apk %s: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package dydroid_test
+
+import (
+	"testing"
+
+	"github.com/dydroid/dydroid"
+)
+
+// TestPublicAPIEndToEnd drives the whole system through the public facade
+// exactly as the README shows: generate a marketplace, train the
+// detector, analyze apps, and check that the headline findings of the
+// paper are recoverable through the exported surface alone.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	store, err := dydroid.GenerateStore(dydroid.StoreConfig{Seed: 5, Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(store.Apps) == 0 {
+		t.Fatal("empty store")
+	}
+	classifier, err := store.TrainingSet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzer := dydroid.NewAnalyzer(dydroid.Options{
+		Seed:        9,
+		Classifier:  classifier,
+		Network:     store.Network,
+		SetupDevice: store.SetupDevice,
+	})
+
+	var sawThirdParty, sawRemote, sawMalware, sawVuln, sawPacked bool
+	for _, app := range store.Apps {
+		apkBytes, err := store.BuildAPK(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Spec.Pkg, err)
+		}
+		res, err := analyzer.AnalyzeAPK(apkBytes)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Spec.Pkg, err)
+		}
+		for _, ev := range res.Events {
+			if ev.Entity == dydroid.EntityThirdParty {
+				sawThirdParty = true
+			}
+			if ev.Provenance == dydroid.ProvenanceRemote {
+				sawRemote = true
+			}
+		}
+		if len(res.Malware) > 0 {
+			sawMalware = true
+		}
+		if len(res.Vulns) > 0 {
+			sawVuln = true
+		}
+		if res.Obfuscation.DEXEncryption {
+			sawPacked = true
+		}
+	}
+	for name, saw := range map[string]bool{
+		"third-party DCL": sawThirdParty,
+		"remote fetch":    sawRemote,
+		"malware":         sawMalware,
+		"vulnerability":   sawVuln,
+		"packer":          sawPacked,
+	} {
+		if !saw {
+			t.Errorf("public API run never observed %s", name)
+		}
+	}
+}
+
+// TestPublicAPIBuildParse checks the APK helpers round-trip.
+func TestPublicAPIBuildParse(t *testing.T) {
+	a := &dydroid.APK{
+		Manifest: dydroid.Manifest{Package: "com.api.demo", MinSDK: 16},
+	}
+	a.Manifest.Application.Activities = []dydroid.Component{{Name: "com.api.demo.Main", Main: true}}
+	data, err := dydroid.BuildAPK(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dydroid.ParseAPK(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Manifest.Package != "com.api.demo" {
+		t.Fatalf("package = %q", got.Manifest.Package)
+	}
+}
+
+// TestRunExperimentsSmoke exercises the experiment facade.
+func TestRunExperimentsSmoke(t *testing.T) {
+	res, err := dydroid.RunExperiments(dydroid.ExperimentConfig{
+		Seed: 3, Scale: 0.002, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 || len(res.Report()) < 1000 {
+		t.Fatal("experiment output too small")
+	}
+}

@@ -1,0 +1,46 @@
+package dydroid_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dydroid/dydroid"
+)
+
+// Example runs the DyDroid pipeline over one generated ad-supported app
+// and prints the recovered DCL facts — the library's core loop.
+func Example() {
+	store, err := dydroid.GenerateStore(dydroid.StoreConfig{Seed: 1, Scale: 0.001})
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyzer := dydroid.NewAnalyzer(dydroid.Options{
+		Seed:        7,
+		Network:     store.Network,
+		SetupDevice: store.SetupDevice,
+	})
+	for _, app := range store.Apps {
+		if !app.Spec.AdMob {
+			continue
+		}
+		apkBytes, err := store.BuildAPK(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := analyzer.AnalyzeAPK(apkBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev := res.DexEvents()[0]
+		fmt.Println("status:", res.Status)
+		fmt.Println("entity:", ev.Entity)
+		fmt.Println("provenance:", ev.Provenance)
+		fmt.Println("intercepted:", ev.Intercepted != nil)
+		break
+	}
+	// Output:
+	// status: exercised
+	// entity: third-party
+	// provenance: local
+	// intercepted: true
+}

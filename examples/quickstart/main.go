@@ -1,0 +1,70 @@
+// Quickstart: generate a miniature marketplace, run the DyDroid pipeline
+// on one ad-supported app, and print what the system recovered — the DCL
+// event with its call site, responsible entity and provenance, plus the
+// privacy behaviour of the intercepted code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dydroid/dydroid"
+)
+
+func main() {
+	// A tiny synthetic marketplace: ~60 apps with the paper's behaviours.
+	store, err := dydroid.GenerateStore(dydroid.StoreConfig{Seed: 1, Scale: 0.001})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d apps\n", len(store.Apps))
+
+	// DroidNative trained on the malware families of the training corpus.
+	classifier, err := store.TrainingSet(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	analyzer := dydroid.NewAnalyzer(dydroid.Options{
+		Seed:        7,
+		Classifier:  classifier,
+		Network:     store.Network,     // the simulated remote servers
+		SetupDevice: store.SetupDevice, // companion apps (Adobe AIR, chat apps)
+	})
+
+	// Analyze the first app that embeds the Google-Ads-style SDK.
+	for _, app := range store.Apps {
+		if !app.Spec.AdMob {
+			continue
+		}
+		apkBytes, err := store.BuildAPK(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := analyzer.AnalyzeAPK(apkBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("\napp %s: status=%s\n", res.Package, res.Status)
+		for _, ev := range res.Events {
+			fmt.Printf("  DCL %-6s via %s\n", ev.Kind, ev.API)
+			fmt.Printf("      file:       %s\n", ev.Path)
+			fmt.Printf("      call site:  %s (stack depth %d)\n", ev.CallSite, len(ev.Stack))
+			fmt.Printf("      entity:     %s\n", ev.Entity)
+			fmt.Printf("      provenance: %s\n", ev.Provenance)
+			fmt.Printf("      intercepted: %d bytes (survived the SDK's delete)\n", len(ev.Intercepted))
+		}
+		if res.Privacy != nil {
+			for _, dt := range res.Privacy.LeakedTypes() {
+				fmt.Printf("  privacy: loaded code tracks %q (exclusively third-party: %v)\n",
+					dt, res.PrivacyByEntity[string(dt)])
+			}
+		}
+		if len(res.Malware) == 0 {
+			fmt.Println("  malware: none (DroidNative found no family match)")
+		}
+		return
+	}
+	log.Fatal("no ad-supported app at this scale")
+}

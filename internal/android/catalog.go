@@ -1,0 +1,151 @@
+package android
+
+import "github.com/dydroid/dydroid/internal/dex"
+
+// Category groups the 18 privacy data types of Table X into the paper's
+// five categories.
+type Category string
+
+// Privacy categories (paper §III-C).
+const (
+	CatLocation        Category = "L"
+	CatPhoneIdentity   Category = "PI"
+	CatUserIdentity    Category = "UI"
+	CatUsagePattern    Category = "UP"
+	CatContentProvider Category = "CP"
+)
+
+// DataType is one of the 18 privacy-sensitive data types of Table X.
+type DataType string
+
+// The 18 data types measured in Table X.
+const (
+	DTLocation      DataType = "Location"
+	DTIMEI          DataType = "IMEI"
+	DTIMSI          DataType = "IMSI"
+	DTICCID         DataType = "ICCID"
+	DTPhoneNumber   DataType = "Phone number"
+	DTAccount       DataType = "Account"
+	DTInstalledApps DataType = "Installed applications"
+	DTInstalledPkgs DataType = "Installed packages"
+	DTContact       DataType = "Contact"
+	DTCalendar      DataType = "Calendar"
+	DTCallLog       DataType = "CallLog"
+	DTBrowser       DataType = "Browser"
+	DTAudio         DataType = "Audio"
+	DTImage         DataType = "Image"
+	DTVideo         DataType = "Video"
+	DTSettings      DataType = "Settings"
+	DTMMS           DataType = "MMS"
+	DTSMS           DataType = "SMS"
+)
+
+// AllDataTypes lists every data type in Table X row order.
+var AllDataTypes = []DataType{
+	DTLocation, DTIMEI, DTIMSI, DTICCID, DTPhoneNumber, DTAccount,
+	DTInstalledApps, DTInstalledPkgs, DTContact, DTCalendar, DTCallLog,
+	DTBrowser, DTAudio, DTImage, DTVideo, DTSettings, DTMMS, DTSMS,
+}
+
+// CategoryOf maps each data type to its category.
+var CategoryOf = map[DataType]Category{
+	DTLocation:      CatLocation,
+	DTIMEI:          CatPhoneIdentity,
+	DTIMSI:          CatPhoneIdentity,
+	DTICCID:         CatPhoneIdentity,
+	DTPhoneNumber:   CatUserIdentity,
+	DTAccount:       CatUserIdentity,
+	DTInstalledApps: CatUsagePattern,
+	DTInstalledPkgs: CatUsagePattern,
+	DTContact:       CatContentProvider,
+	DTCalendar:      CatContentProvider,
+	DTCallLog:       CatContentProvider,
+	DTBrowser:       CatContentProvider,
+	DTAudio:         CatContentProvider,
+	DTImage:         CatContentProvider,
+	DTVideo:         CatContentProvider,
+	DTSettings:      CatContentProvider,
+	DTMMS:           CatContentProvider,
+	DTSMS:           CatContentProvider,
+}
+
+// SourceAPIs maps privacy-source framework methods to the data type they
+// yield. For the L/PI/UI/UP categories the taint analysis treats an invoke
+// of these methods as a source (paper §III-C).
+var SourceAPIs = map[dex.MethodRef]DataType{
+	{Class: "android.location.LocationManager", Name: "getLastKnownLocation",
+		Sig: "(Ljava/lang/String;)Landroid/location/Location;"}: DTLocation,
+	{Class: "android.telephony.TelephonyManager", Name: "getDeviceId",
+		Sig: "()Ljava/lang/String;"}: DTIMEI,
+	{Class: "android.telephony.TelephonyManager", Name: "getSubscriberId",
+		Sig: "()Ljava/lang/String;"}: DTIMSI,
+	{Class: "android.telephony.TelephonyManager", Name: "getSimSerialNumber",
+		Sig: "()Ljava/lang/String;"}: DTICCID,
+	{Class: "android.telephony.TelephonyManager", Name: "getLine1Number",
+		Sig: "()Ljava/lang/String;"}: DTPhoneNumber,
+	{Class: "android.accounts.AccountManager", Name: "getAccounts",
+		Sig: "()[Landroid/accounts/Account;"}: DTAccount,
+	{Class: "android.content.pm.PackageManager", Name: "getInstalledApplications",
+		Sig: "(I)Ljava/util/List;"}: DTInstalledApps,
+	{Class: "android.content.pm.PackageManager", Name: "getInstalledPackages",
+		Sig: "(I)Ljava/util/List;"}: DTInstalledPkgs,
+}
+
+// ProviderURIs maps content-provider URIs to data types; a
+// ContentResolver.query whose URI argument carries one of these constants
+// is a source (paper §III-C: "Content provider is identified by URI").
+var ProviderURIs = map[string]DataType{
+	"content://contacts":              DTContact,
+	"content://com.android.calendar":  DTCalendar,
+	"content://call_log/calls":        DTCallLog,
+	"content://browser/bookmarks":     DTBrowser,
+	"content://media/external/audio":  DTAudio,
+	"content://media/external/images": DTImage,
+	"content://media/external/video":  DTVideo,
+	"content://settings":              DTSettings,
+	"content://mms":                   DTMMS,
+	"content://sms":                   DTSMS,
+}
+
+// ResolverQuery is the content-resolver query method whose URI argument is
+// matched against ProviderURIs.
+var ResolverQuery = dex.MethodRef{
+	Class: "android.content.ContentResolver", Name: "query",
+	Sig: "(Landroid/net/Uri;)Landroid/database/Cursor;",
+}
+
+// SinkAPIs is the SuSi-style sink list: methods through which tainted data
+// leaves the app.
+var SinkAPIs = map[dex.MethodRef]bool{
+	{Class: "java.net.HttpURLConnection", Name: "write",
+		Sig: "(Ljava/lang/String;)V"}: true,
+	{Class: "org.apache.http.impl.client.DefaultHttpClient", Name: "execute",
+		Sig: "(Ljava/lang/String;)V"}: true,
+	{Class: "android.telephony.SmsManager", Name: "sendTextMessage",
+		Sig: "(Ljava/lang/String;Ljava/lang/String;)V"}: true,
+	{Class: "android.util.Log", Name: "i",
+		Sig: "(Ljava/lang/String;Ljava/lang/String;)V"}: true,
+	{Class: "java.io.OutputStream", Name: "writeString",
+		Sig: "(Ljava/lang/String;)V"}: true,
+}
+
+// IsSink reports whether the invoked method is a sink.
+func IsSink(ref dex.MethodRef) bool { return SinkAPIs[ref] }
+
+// SourceType returns the data type produced by the method, if it is a
+// source API.
+func SourceType(ref dex.MethodRef) (DataType, bool) {
+	dt, ok := SourceAPIs[ref]
+	return dt, ok
+}
+
+// ProviderType returns the data type guarded by the content URI, matching
+// by prefix (real queries append paths like /people to the authority).
+func ProviderType(uri string) (DataType, bool) {
+	for prefix, dt := range ProviderURIs {
+		if uri == prefix || (len(uri) > len(prefix) && uri[:len(prefix)] == prefix && uri[len(prefix)] == '/') {
+			return dt, true
+		}
+	}
+	return "", false
+}

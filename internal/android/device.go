@@ -1,0 +1,256 @@
+// Package android simulates the slice of the Android platform that
+// DyDroid's measurement depends on: device state (system time, airplane
+// mode, WiFi, location service), the storage tree with its ownership and
+// API-level-dependent write semantics, the package manager, a process
+// table (for ptrace-style native malware), and the catalog of
+// privacy-sensitive APIs and content-provider URIs used by the taint
+// analyses.
+//
+// The simulated device defaults to API level 18 (Android 4.3.1), matching
+// the instrumented device of the paper's measurement.
+package android
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultAPILevel is Android 4.3.1, the paper's measurement platform.
+const DefaultAPILevel = 18
+
+// KitKatAPILevel (Android 4.4) is where external storage stopped being
+// world-writable without a permission — the boundary in the Table IX
+// vulnerability analysis.
+const KitKatAPILevel = 19
+
+// Device is one simulated Android device. A Device and everything hanging
+// off it is safe for concurrent use.
+type Device struct {
+	mu sync.Mutex
+
+	apiLevel int
+	clock    time.Time
+	airplane bool
+	wifi     bool
+	location bool
+
+	// Identity values surfaced through the privacy-source APIs.
+	IMEI        string
+	IMSI        string
+	ICCID       string
+	PhoneNumber string
+	Accounts    []string
+
+	Storage  *Storage
+	Packages *PackageManager
+
+	procMu    sync.Mutex
+	nextPID   int
+	processes map[int]*Process
+	ptraces   []PtraceEvent
+}
+
+// Option configures a new Device.
+type Option func(*Device)
+
+// WithAPILevel overrides the platform API level.
+func WithAPILevel(level int) Option {
+	return func(d *Device) { d.apiLevel = level }
+}
+
+// WithClock sets the initial system time.
+func WithClock(t time.Time) Option {
+	return func(d *Device) { d.clock = t }
+}
+
+// WithStorageQuota bounds total storage bytes (0 = unlimited); the
+// pipeline's storage-exhaustion handling is exercised through this.
+func WithStorageQuota(bytes int64) Option {
+	return func(d *Device) { d.Storage.quota = bytes }
+}
+
+// NewDevice creates a device with connectivity and location on, the
+// default API level, and a fixed deterministic clock.
+func NewDevice(opts ...Option) *Device {
+	d := &Device{
+		apiLevel:    DefaultAPILevel,
+		clock:       time.Date(2016, 11, 15, 10, 0, 0, 0, time.UTC),
+		wifi:        true,
+		location:    true,
+		IMEI:        "352099001761481",
+		IMSI:        "310260000000000",
+		ICCID:       "89014103211118510720",
+		PhoneNumber: "+15555550100",
+		Accounts:    []string{"user@example.com"},
+		nextPID:     1000,
+		processes:   make(map[int]*Process),
+	}
+	d.Storage = newStorage(d)
+	d.Packages = newPackageManager(d)
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
+}
+
+// APILevel returns the platform API level.
+func (d *Device) APILevel() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.apiLevel
+}
+
+// Now returns the simulated system time.
+func (d *Device) Now() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
+}
+
+// SetClock sets the system time (the Table VIII "system time"
+// configuration).
+func (d *Device) SetClock(t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock = t
+}
+
+// AdvanceClock moves the system time forward.
+func (d *Device) AdvanceClock(delta time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock = d.clock.Add(delta)
+}
+
+// SetAirplaneMode toggles airplane mode. Entering airplane mode also turns
+// WiFi off; it can be re-enabled afterwards (the paper's "airplane
+// mode/WiFi ON" configuration).
+func (d *Device) SetAirplaneMode(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.airplane = on
+	if on {
+		d.wifi = false
+	}
+}
+
+// SetWiFi toggles WiFi.
+func (d *Device) SetWiFi(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wifi = on
+}
+
+// SetLocationEnabled toggles the location service.
+func (d *Device) SetLocationEnabled(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.location = on
+}
+
+// AirplaneModeOn reports whether airplane mode is enabled (exposed to
+// apps through the Settings provider, which runtime-gated malware reads).
+func (d *Device) AirplaneModeOn() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.airplane
+}
+
+// NetworkAvailable reports whether any connectivity exists: WiFi counts
+// even in airplane mode, cellular only outside it.
+func (d *Device) NetworkAvailable() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wifi || !d.airplane
+}
+
+// LocationEnabled reports whether the location service is on.
+func (d *Device) LocationEnabled() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.location
+}
+
+// Process is a running application process.
+type Process struct {
+	PID     int
+	Package string
+	UID     int // 0 = root
+}
+
+// PtraceEvent records one ptrace attach observed on the device.
+type PtraceEvent struct {
+	TracerPID int
+	TraceePID int
+	TracerPkg string
+	TraceePkg string
+}
+
+// StartProcess registers a process for the package and returns it.
+func (d *Device) StartProcess(pkg string, uid int) *Process {
+	d.procMu.Lock()
+	defer d.procMu.Unlock()
+	d.nextPID++
+	p := &Process{PID: d.nextPID, Package: pkg, UID: uid}
+	d.processes[p.PID] = p
+	return p
+}
+
+// FindProcessByPID returns the process with the given PID, or nil.
+func (d *Device) FindProcessByPID(pid int) *Process {
+	d.procMu.Lock()
+	defer d.procMu.Unlock()
+	return d.processes[pid]
+}
+
+// FindProcessByPackage returns the first process of the package, or nil.
+func (d *Device) FindProcessByPackage(pkg string) *Process {
+	d.procMu.Lock()
+	defer d.procMu.Unlock()
+	// PIDs are assigned in increasing order; scan for the lowest for
+	// determinism.
+	var best *Process
+	for _, p := range d.processes {
+		if p.Package == pkg && (best == nil || p.PID < best.PID) {
+			best = p
+		}
+	}
+	return best
+}
+
+// PtraceAttach attaches tracer to tracee. Tracing another package's
+// process requires root, mirroring the Chathook-ptrace malware's
+// privilege-escalation step.
+func (d *Device) PtraceAttach(tracer *Process, traceePID int) error {
+	d.procMu.Lock()
+	defer d.procMu.Unlock()
+	tracee, ok := d.processes[traceePID]
+	if !ok {
+		return fmt.Errorf("android: ptrace: no process %d", traceePID)
+	}
+	if tracee.Package != tracer.Package && tracer.UID != 0 {
+		return fmt.Errorf("android: ptrace: %s (pid %d) may not trace %s (pid %d) without root",
+			tracer.Package, tracer.PID, tracee.Package, tracee.PID)
+	}
+	d.ptraces = append(d.ptraces, PtraceEvent{
+		TracerPID: tracer.PID, TraceePID: tracee.PID,
+		TracerPkg: tracer.Package, TraceePkg: tracee.Package,
+	})
+	return nil
+}
+
+// PtraceEvents returns a copy of all recorded ptrace attaches.
+func (d *Device) PtraceEvents() []PtraceEvent {
+	d.procMu.Lock()
+	defer d.procMu.Unlock()
+	return append([]PtraceEvent(nil), d.ptraces...)
+}
+
+// ResetRuntimeState clears processes and ptrace events between app runs.
+func (d *Device) ResetRuntimeState() {
+	d.procMu.Lock()
+	defer d.procMu.Unlock()
+	d.processes = make(map[int]*Process)
+	d.ptraces = nil
+}

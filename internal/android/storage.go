@@ -1,0 +1,249 @@
+package android
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Well-known storage roots. These match the paths the paper reports from
+// its measurement device.
+const (
+	// InternalRoot is the parent of per-app private directories
+	// (/data/data/<pkg>/...).
+	InternalRoot = "/data/data/"
+	// ExternalRoot is the world-readable SD card mount.
+	ExternalRoot = "/mnt/sdcard/"
+	// SystemLibRoot holds OS-vendor native libraries; DCL of these is
+	// skipped by the logger (paper §III-B).
+	SystemLibRoot = "/system/lib/"
+	// AppRoot is where installed APKs live.
+	AppRoot = "/data/app/"
+)
+
+// SystemOwner is the owner label for OS-owned files.
+const SystemOwner = "system"
+
+// Storage errors.
+var (
+	// ErrPermission is returned when the writer may not modify the path.
+	ErrPermission = errors.New("android: permission denied")
+	// ErrNotExist is returned for missing files.
+	ErrNotExist = errors.New("android: file does not exist")
+	// ErrNoSpace is returned when the quota is exhausted — the "device
+	// storage running out" exception DyDroid handles automatically.
+	ErrNoSpace = errors.New("android: no space left on device")
+)
+
+// FileEntry is one stored file.
+type FileEntry struct {
+	Path  string
+	Data  []byte
+	Owner string // package name or SystemOwner
+}
+
+// Storage is the device's in-memory filesystem with Android ownership
+// semantics. All methods are safe for concurrent use.
+type Storage struct {
+	dev   *Device
+	mu    sync.Mutex
+	files map[string]*FileEntry
+	quota int64 // 0 = unlimited
+	used  int64
+}
+
+func newStorage(dev *Device) *Storage {
+	return &Storage{dev: dev, files: make(map[string]*FileEntry)}
+}
+
+// InternalDir returns the private data directory of a package.
+func InternalDir(pkg string) string { return InternalRoot + pkg + "/" }
+
+// OwnerOfInternalPath returns the package owning an internal-storage path,
+// or "" when the path is not under /data/data/.
+func OwnerOfInternalPath(path string) string {
+	if !strings.HasPrefix(path, InternalRoot) {
+		return ""
+	}
+	rest := strings.TrimPrefix(path, InternalRoot)
+	if i := strings.IndexByte(rest, '/'); i > 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// IsExternal reports whether the path is on external storage.
+func IsExternal(path string) bool { return strings.HasPrefix(path, ExternalRoot) }
+
+// IsSystemLib reports whether the path is an OS-vendor library location.
+func IsSystemLib(path string) bool { return strings.HasPrefix(path, SystemLibRoot) }
+
+// mayWrite decides whether writer (a package name, or SystemOwner) may
+// create or modify path. hasExternalPerm is whether the writer's manifest
+// declares WRITE_EXTERNAL_STORAGE.
+func (s *Storage) mayWrite(path, writer string, hasExternalPerm bool) error {
+	if writer == SystemOwner {
+		return nil
+	}
+	switch {
+	case strings.HasPrefix(path, SystemLibRoot), strings.HasPrefix(path, AppRoot):
+		return fmt.Errorf("%w: %s writing system path %s", ErrPermission, writer, path)
+	case strings.HasPrefix(path, InternalRoot):
+		if owner := OwnerOfInternalPath(path); owner != writer {
+			return fmt.Errorf("%w: %s writing internal storage of %s", ErrPermission, writer, owner)
+		}
+		return nil
+	case IsExternal(path):
+		// Before KitKat any app may write external storage; from KitKat on
+		// the permission is required (paper §III-B vulnerability analysis).
+		if s.dev.APILevel() < KitKatAPILevel || hasExternalPerm {
+			return nil
+		}
+		return fmt.Errorf("%w: %s writing external storage without %s", ErrPermission, writer, "WRITE_EXTERNAL_STORAGE")
+	default:
+		return fmt.Errorf("%w: %s writing unknown root %s", ErrPermission, writer, path)
+	}
+}
+
+// WriteFile creates or replaces a file. writer is the package performing
+// the write; hasExternalPerm its WRITE_EXTERNAL_STORAGE declaration.
+func (s *Storage) WriteFile(path string, data []byte, writer string, hasExternalPerm bool) error {
+	if err := s.mayWrite(path, writer, hasExternalPerm); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var prev int64
+	if old, ok := s.files[path]; ok {
+		prev = int64(len(old.Data))
+	}
+	if s.quota > 0 && s.used-prev+int64(len(data)) > s.quota {
+		return fmt.Errorf("%w: writing %d bytes to %s", ErrNoSpace, len(data), path)
+	}
+	s.used += int64(len(data)) - prev
+	owner := writer
+	if old, ok := s.files[path]; ok {
+		owner = old.Owner // replacing content keeps original owner label
+		if writer != old.Owner {
+			owner = writer // a successful foreign write transfers ownership
+		}
+	}
+	s.files[path] = &FileEntry{Path: path, Data: append([]byte(nil), data...), Owner: owner}
+	return nil
+}
+
+// ReadFile returns a copy of the file contents. Reads are unrestricted:
+// the measurement device (pre-Android-7 world-readable app dirs) allowed
+// cross-app reads, which is precisely what enables the Table IX
+// "internal storage of other apps" loading pattern.
+func (s *Storage) ReadFile(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return append([]byte(nil), f.Data...), nil
+}
+
+// Stat returns the entry metadata without copying data.
+func (s *Storage) Stat(path string) (owner string, size int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		return "", 0, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return f.Owner, int64(len(f.Data)), nil
+}
+
+// Exists reports whether the path holds a file.
+func (s *Storage) Exists(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.files[path]
+	return ok
+}
+
+// Delete removes a file; only the owner (or system) may delete.
+func (s *Storage) Delete(path, writer string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	if writer != SystemOwner && f.Owner != writer && !IsExternal(path) {
+		return fmt.Errorf("%w: %s deleting file owned by %s", ErrPermission, writer, f.Owner)
+	}
+	s.used -= int64(len(f.Data))
+	delete(s.files, path)
+	return nil
+}
+
+// Rename moves a file; ownership travels with it. Permission rules follow
+// Delete on the source and WriteFile on the destination.
+func (s *Storage) Rename(oldPath, newPath, writer string, hasExternalPerm bool) error {
+	if err := s.mayWrite(newPath, writer, hasExternalPerm); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[oldPath]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldPath)
+	}
+	if writer != SystemOwner && f.Owner != writer && !IsExternal(oldPath) {
+		return fmt.Errorf("%w: %s renaming file owned by %s", ErrPermission, writer, f.Owner)
+	}
+	if oldPath == newPath {
+		return nil // POSIX rename onto itself is a no-op
+	}
+	if old, replaced := s.files[newPath]; replaced {
+		s.used -= int64(len(old.Data))
+	}
+	delete(s.files, oldPath)
+	f.Path = newPath
+	s.files[newPath] = f
+	return nil
+}
+
+// List returns all paths with the given prefix, sorted.
+func (s *Storage) List(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for p := range s.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Used returns the bytes currently stored.
+func (s *Storage) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// RemovePrefix deletes every file under prefix regardless of owner (a
+// system maintenance operation, used by DyDroid's exception handling when
+// storage runs out between apps).
+func (s *Storage) RemovePrefix(prefix string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for p, f := range s.files {
+		if strings.HasPrefix(p, prefix) {
+			s.used -= int64(len(f.Data))
+			delete(s.files, p)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,319 @@
+package apk
+
+import (
+	"archive/zip"
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleAPK() *APK {
+	return &APK{
+		Manifest: Manifest{
+			Package:     "com.example.app",
+			VersionCode: 3,
+			MinSDK:      16,
+			TargetSDK:   18,
+			Permissions: []UsesPerm{{Name: "android.permission.INTERNET"}},
+			Application: Application{
+				Label: "Example",
+				Activities: []Component{
+					{Name: "com.example.app.Main", Main: true,
+						Actions: []Action{{Name: "android.intent.action.MAIN"}}},
+					{Name: "com.example.app.Settings"},
+				},
+				Services: []Component{{Name: "com.example.app.Sync", Exported: true}},
+			},
+		},
+		Dex:        []byte("SDEX-placeholder"),
+		Assets:     map[string][]byte{"payload.bin": {1, 2, 3}},
+		NativeLibs: map[string][]byte{"libfoo.so": {9, 8, 7}},
+		Extra:      map[string][]byte{},
+	}
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	a := sampleAPK()
+	data, err := Build(a)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.Manifest.Package != a.Manifest.Package {
+		t.Fatalf("package = %q, want %q", got.Manifest.Package, a.Manifest.Package)
+	}
+	if !bytes.Equal(got.Dex, a.Dex) {
+		t.Fatal("dex bytes differ after round-trip")
+	}
+	if !bytes.Equal(got.Assets["payload.bin"], a.Assets["payload.bin"]) {
+		t.Fatal("asset bytes differ after round-trip")
+	}
+	if !bytes.Equal(got.NativeLibs["libfoo.so"], a.NativeLibs["libfoo.so"]) {
+		t.Fatal("native lib bytes differ after round-trip")
+	}
+	if len(got.Manifest.Application.Activities) != 2 ||
+		got.Manifest.Application.Activities[0].Name != "com.example.app.Main" {
+		t.Fatalf("activities not preserved: %+v", got.Manifest.Application.Activities)
+	}
+	if !got.Manifest.HasPermission("android.permission.INTERNET") {
+		t.Fatal("permission lost in round-trip")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := sampleAPK()
+	d1, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("Build is not deterministic")
+	}
+}
+
+func TestVerifySignature(t *testing.T) {
+	data, err := Build(sampleAPK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySignature(data); err != nil {
+		t.Fatalf("VerifySignature on fresh build: %v", err)
+	}
+	// Tamper: rebuild with a different dex but keep the old signature by
+	// swapping bytes inside the archive is awkward with zip compression;
+	// instead parse, modify, rebuild WITHOUT re-signing by writing the old
+	// signature into Extra. Build regenerates the signature, so simulate
+	// tampering at the byte level: flip a byte in the dex entry's
+	// compressed stream and expect either a parse error or a verify error.
+	tampered := append([]byte(nil), data...)
+	idx := bytes.Index(tampered, []byte("SDEX-placeholder"))
+	if idx < 0 {
+		t.Skip("dex stored compressed; byte-level tamper point not found")
+	}
+	tampered[idx] ^= 0xff
+	if err := VerifySignature(tampered); err == nil {
+		t.Fatal("VerifySignature accepted tampered archive")
+	}
+}
+
+func TestVerifySignatureUnsigned(t *testing.T) {
+	// An archive without META-INF/MANIFEST.MF must be rejected.
+	a := sampleAPK()
+	data, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parsed.Extra[SignatureEntry]; ok {
+		t.Fatal("signature should be filtered from Extra on rebuild path")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("not a zip")); err == nil {
+		t.Fatal("Parse accepted garbage")
+	}
+}
+
+func TestParseRequiresManifest(t *testing.T) {
+	var buf bytes.Buffer
+	zw := newZipWith(&buf, map[string][]byte{"classes.dex": {1}})
+	_ = zw
+	if _, err := Parse(buf.Bytes()); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Fatalf("Parse without manifest: err = %v", err)
+	}
+}
+
+func TestManifestHelpers(t *testing.T) {
+	m := sampleAPK().Manifest
+	if got := m.LaunchActivity(); got != "com.example.app.Main" {
+		t.Fatalf("LaunchActivity = %q", got)
+	}
+	if !m.AddPermission(WriteExternalStorage) {
+		t.Fatal("AddPermission reported no change")
+	}
+	if m.AddPermission(WriteExternalStorage) {
+		t.Fatal("AddPermission added duplicate")
+	}
+	comps := m.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components() returned %d, want 3", len(comps))
+	}
+	if comps[2].Kind != KindService {
+		t.Fatalf("component kind = %q, want service", comps[2].Kind)
+	}
+}
+
+func TestLaunchActivityFallbacks(t *testing.T) {
+	m := Manifest{Package: "a.b", Application: Application{
+		Activities: []Component{{Name: "a.b.First"}, {Name: "a.b.Second"}},
+	}}
+	if got := m.LaunchActivity(); got != "a.b.First" {
+		t.Fatalf("LaunchActivity fallback = %q", got)
+	}
+	m.Application.Activities = nil
+	if got := m.LaunchActivity(); got != "" {
+		t.Fatalf("LaunchActivity with no activities = %q", got)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Manifest
+		ok   bool
+	}{
+		{"valid", Manifest{Package: "a.b"}, true},
+		{"empty package", Manifest{}, false},
+		{"space in package", Manifest{Package: "a b"}, false},
+		{"empty component", Manifest{Package: "a.b", Application: Application{
+			Activities: []Component{{}}}}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.m.Validate(); (err == nil) != tc.ok {
+				t.Fatalf("Validate = %v, ok = %v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestHasAntiRepack(t *testing.T) {
+	a := sampleAPK()
+	if a.HasAntiRepack() {
+		t.Fatal("fresh app reports anti-repack")
+	}
+	a.Extra[AntiRepackEntry] = []byte{1}
+	if !a.HasAntiRepack() {
+		t.Fatal("marker not detected")
+	}
+	data, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasAntiRepack() {
+		t.Fatal("marker lost in round-trip")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := sampleAPK()
+	cp := a.Clone()
+	cp.Dex[0] = 'X'
+	cp.Assets["payload.bin"][0] = 99
+	cp.Manifest.AddPermission("p.q")
+	if a.Dex[0] == 'X' || a.Assets["payload.bin"][0] == 99 {
+		t.Fatal("Clone shares byte slices")
+	}
+	if a.Manifest.HasPermission("p.q") {
+		t.Fatal("Clone shares permission slice")
+	}
+}
+
+func TestPropertyBuildParseRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			a := &APK{
+				Manifest: Manifest{
+					Package: "p" + randWord(r) + "." + randWord(r),
+					MinSDK:  10 + r.Intn(15),
+				},
+				Assets:     map[string][]byte{},
+				NativeLibs: map[string][]byte{},
+				Extra:      map[string][]byte{},
+			}
+			if r.Intn(2) == 0 {
+				a.Dex = randBytes(r, 1+r.Intn(200))
+			}
+			for i := 0; i < r.Intn(4); i++ {
+				a.Assets[randWord(r)+".bin"] = randBytes(r, r.Intn(100))
+			}
+			for i := 0; i < r.Intn(3); i++ {
+				a.NativeLibs["lib"+randWord(r)+".so"] = randBytes(r, r.Intn(100))
+			}
+			for i := 0; i < r.Intn(3); i++ {
+				a.Manifest.Application.Activities = append(a.Manifest.Application.Activities,
+					Component{Name: a.Manifest.Package + "." + randWord(r)})
+			}
+			vals[0] = reflect.ValueOf(a)
+		},
+	}
+	prop := func(a *APK) bool {
+		data, err := Build(a)
+		if err != nil {
+			return false
+		}
+		if err := VerifySignature(data); err != nil {
+			return false
+		}
+		got, err := Parse(data)
+		if err != nil {
+			return false
+		}
+		if got.Manifest.Package != a.Manifest.Package ||
+			!bytes.Equal(got.Dex, a.Dex) ||
+			len(got.Assets) != len(a.Assets) ||
+			len(got.NativeLibs) != len(a.NativeLibs) {
+			return false
+		}
+		for k, v := range a.Assets {
+			if !bytes.Equal(got.Assets[k], v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randWord(r *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	n := 1 + r.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+// newZipWith writes a minimal zip for negative tests.
+func newZipWith(buf *bytes.Buffer, entries map[string][]byte) error {
+	zw := zip.NewWriter(buf)
+	for name, data := range entries {
+		w, err := zw.Create(name)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	return zw.Close()
+}

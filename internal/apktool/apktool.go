@@ -1,0 +1,125 @@
+// Package apktool is the reverse-engineering toolchain analogue
+// (baksmali/apktool): it unpacks an APK, decompiles classes.dex into the
+// smali IR, and repacks rewritten apps (DyDroid injects
+// WRITE_EXTERNAL_STORAGE so its on-device logs can be written).
+//
+// Two deliberate failure modes mirror the measurement reality:
+//
+//   - anti-decompilation: Dalvik accepts class names that are not valid
+//     Java identifiers; Tool versions below FixedVersion crash on them
+//     (the "implementation bug" of §III-D that 54 apps in Table VI
+//     exploit);
+//   - anti-repackaging: archives carrying the anti-repack marker defeat
+//     the rewriter, producing the "Rewriting failure" rows of Table II.
+package apktool
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+)
+
+// Tool versions.
+const (
+	// BuggyVersion is the decompiler release with the anti-decompilation
+	// bug, used for the paper-time measurement.
+	BuggyVersion = 1
+	// FixedVersion handles hostile class names.
+	FixedVersion = 2
+)
+
+// Errors.
+var (
+	// ErrDecompile marks a decompiler crash (anti-decompilation or a
+	// corrupted dex).
+	ErrDecompile = errors.New("apktool: decompilation failed")
+	// ErrRepack marks a rewriter failure (anti-repackaging).
+	ErrRepack = errors.New("apktool: repackaging failed")
+)
+
+// Tool is one apktool installation.
+type Tool struct {
+	// Version selects decompiler behaviour; zero means BuggyVersion.
+	Version int
+}
+
+func (t Tool) version() int {
+	if t.Version == 0 {
+		return BuggyVersion
+	}
+	return t.Version
+}
+
+// Unpacked is the result of unpacking and decompiling an APK.
+type Unpacked struct {
+	APK *apk.APK
+	// Dex is the decoded bytecode, nil when the app ships none.
+	Dex *dex.File
+	// Smali maps class names to their smali IR text.
+	Smali map[string]string
+}
+
+// Unpack parses the archive and decompiles its bytecode to smali.
+func (t Tool) Unpack(data []byte) (*Unpacked, error) {
+	a, err := apk.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("apktool: unpack: %w", err)
+	}
+	u := &Unpacked{APK: a, Smali: make(map[string]string)}
+	if a.Dex == nil {
+		return u, nil
+	}
+	df, err := dex.Decode(a.Dex)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecompile, err)
+	}
+	if t.version() < FixedVersion {
+		for _, c := range df.Classes {
+			if hostileClassName(c.Name) {
+				return nil, fmt.Errorf("%w: invalid identifier in class %q (anti-decompilation)",
+					ErrDecompile, c.Name)
+			}
+		}
+	}
+	u.Dex = df
+	u.Smali = dex.Disassemble(df)
+	return u, nil
+}
+
+// hostileClassName reports whether the class's simple name is not a valid
+// Java identifier — Dalvik runs it, old decompilers choke on it.
+func hostileClassName(name string) bool {
+	simple := name
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		simple = name[i+1:]
+	}
+	if simple == "" {
+		return true
+	}
+	r := rune(simple[0])
+	return unicode.IsDigit(r) || r == '-'
+}
+
+// Repack rewrites the app, adding WRITE_EXTERNAL_STORAGE to the manifest
+// when absent, and rebuilds/re-signs the archive. Archives protected by
+// the anti-repackaging marker fail.
+func (t Tool) Repack(data []byte) ([]byte, error) {
+	a, err := apk.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("apktool: repack: %w", err)
+	}
+	if a.HasAntiRepack() {
+		return nil, fmt.Errorf("%w: archive is protected against repackaging", ErrRepack)
+	}
+	cp := a.Clone()
+	cp.Manifest.AddPermission(apk.WriteExternalStorage)
+	out, err := apk.Build(cp)
+	if err != nil {
+		return nil, fmt.Errorf("apktool: repack: %w", err)
+	}
+	return out, nil
+}

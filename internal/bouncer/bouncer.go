@@ -1,0 +1,152 @@
+// Package bouncer simulates the marketplace's submission review (Google
+// Bouncer): a static malware scan of the submitted archive followed by a
+// short dynamic run in a sandboxed device. It exists to reproduce the
+// paper's §III-B experiment — App_M (known malware) is rejected, while
+// App_L, which fetches App_M's code over the network only after release,
+// passes review because the delivery server withholds the payload during
+// the review window.
+package bouncer
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/droidnative"
+	"github.com/dydroid/dydroid/internal/mail"
+	"github.com/dydroid/dydroid/internal/monkey"
+	"github.com/dydroid/dydroid/internal/nativebin"
+	"github.com/dydroid/dydroid/internal/netsim"
+	"github.com/dydroid/dydroid/internal/vm"
+)
+
+// Verdict is a review outcome.
+type Verdict struct {
+	Approved bool
+	// Reason describes the rejection (empty when approved).
+	Reason string
+}
+
+// Reviewer is the store-side checker.
+type Reviewer struct {
+	// Classifier is the static/dynamic malware detector (required).
+	Classifier *droidnative.Classifier
+	// Network is the outside world visible to the sandbox; the review
+	// fetches through it like a real device would.
+	Network *netsim.Network
+	// MonkeyEvents bounds the dynamic phase (default 10 — reviews are
+	// brief, which is exactly the window evasion exploits).
+	MonkeyEvents int
+}
+
+// maliciousEventKinds are runtime behaviours that fail review on sight.
+var maliciousEventKinds = map[string]bool{
+	"sms": true, "root": true, "ptrace": true,
+	"shortcut": true, "homepage": true,
+}
+
+// Review checks one submitted archive.
+func (r *Reviewer) Review(apkBytes []byte) (Verdict, error) {
+	a, err := apk.Parse(apkBytes)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("bouncer: %w", err)
+	}
+	// Phase 1: static scan of every binary in the archive.
+	if a.Dex != nil {
+		if df, err := dex.Decode(a.Dex); err == nil {
+			if det := r.Classifier.Classify(mail.FromDex(df)); det.Malware {
+				return Verdict{Reason: fmt.Sprintf("static scan: classes.dex matches %s (%.0f%%)",
+					det.Family, det.Score*100)}, nil
+			}
+		}
+	}
+	for name, libBytes := range a.NativeLibs {
+		lib, err := nativebin.Decode(libBytes)
+		if err != nil {
+			continue
+		}
+		if det := r.Classifier.Classify(mail.FromNative(lib)); det.Malware {
+			return Verdict{Reason: fmt.Sprintf("static scan: %s matches %s (%.0f%%)",
+				name, det.Family, det.Score*100)}, nil
+		}
+	}
+
+	// Phase 2: brief dynamic run in a sandbox device.
+	dev := android.NewDevice()
+	var net *netsim.Network
+	if r.Network != nil {
+		net = r.Network.Clone()
+		net.Online = dev.NetworkAvailable
+	}
+	app, err := dev.Packages.Install(a)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("bouncer: %w", err)
+	}
+	interceptor := &reviewHooks{}
+	machine, err := vm.New(dev, net, app, interceptor, nil)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("bouncer: %w", err)
+	}
+	budget := r.MonkeyEvents
+	if budget == 0 {
+		budget = 10
+	}
+	monkey.Exercise(machine, budget, 99)
+
+	for _, ev := range machine.Events() {
+		if maliciousEventKinds[ev.Kind] {
+			return Verdict{Reason: "dynamic run: observed " + ev.Kind + " behaviour"}, nil
+		}
+	}
+	// Scan anything dynamically loaded during the review run.
+	for _, path := range interceptor.loaded {
+		data, err := dev.Storage.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var prog *mail.Program
+		switch {
+		case len(data) >= 4 && string(data[:4]) == dex.Magic:
+			df, err := dex.Decode(data)
+			if err != nil {
+				continue
+			}
+			prog = mail.FromDex(df)
+		case nativebin.IsSELF(data):
+			lib, err := nativebin.Decode(data)
+			if err != nil {
+				continue
+			}
+			prog = mail.FromNative(lib)
+		default:
+			continue
+		}
+		if det := r.Classifier.Classify(prog); det.Malware {
+			return Verdict{Reason: fmt.Sprintf("dynamic run: loaded code matches %s", det.Family)}, nil
+		}
+	}
+	return Verdict{Approved: true}, nil
+}
+
+// reviewHooks records loaded paths during the sandbox run (the review's
+// own, much shallower, DCL visibility).
+type reviewHooks struct {
+	loaded []string
+}
+
+func (h *reviewHooks) OnClassLoaderInit(kind vm.LoaderKind, dexPath, optDir string, st []vm.StackElement) {
+	for _, p := range strings.Split(dexPath, ":") {
+		if p != "" {
+			h.loaded = append(h.loaded, p)
+		}
+	}
+}
+
+func (h *reviewHooks) OnNativeLoad(api vm.NativeLoadAPI, libPath string, st []vm.StackElement) {
+	h.loaded = append(h.loaded, libPath)
+}
+
+func (h *reviewHooks) OnFileDelete(string) bool         { return false }
+func (h *reviewHooks) OnFileRename(string, string) bool { return false }

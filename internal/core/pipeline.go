@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/apktool"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/droidnative"
+	"github.com/dydroid/dydroid/internal/mail"
+	"github.com/dydroid/dydroid/internal/monkey"
+	"github.com/dydroid/dydroid/internal/nativebin"
+	"github.com/dydroid/dydroid/internal/netsim"
+	"github.com/dydroid/dydroid/internal/obfuscation"
+	"github.com/dydroid/dydroid/internal/taint"
+	"github.com/dydroid/dydroid/internal/vm"
+)
+
+// Options configure an Analyzer.
+type Options struct {
+	// MonkeyEvents is the fuzzing budget per app (default 25).
+	MonkeyEvents int
+	// Seed drives the fuzzer deterministically.
+	Seed int64
+	// Tool is the apktool installation (zero value = the buggy
+	// measurement-era version).
+	Tool apktool.Tool
+	// Classifier is the trained DroidNative detector; nil disables
+	// malware detection.
+	Classifier *droidnative.Classifier
+	// Network is the marketplace network serving remote payloads; it is
+	// cloned per app run. Nil means no connectivity.
+	Network *netsim.Network
+	// SetupDevice provisions companion apps (ad-target apps, Adobe AIR,
+	// chat apps) on the fresh per-run device.
+	SetupDevice func(*android.Device) error
+	// StorageQuota bounds device storage (0 = unlimited); exercises the
+	// storage-exhaustion exception handling.
+	StorageQuota int64
+	// RunDynamicWithoutDCL forces dynamic analysis even when the
+	// pre-filter finds no DCL code (ablation; the paper skips such apps).
+	RunDynamicWithoutDCL bool
+	// DisableDeleteBlocking turns off the interception queue's
+	// delete/rename blocking (ablation: temporary loaded files vanish
+	// before the dump phase).
+	DisableDeleteBlocking bool
+	// StepBudget overrides the per-invocation VM budget (0 = default).
+	StepBudget int
+}
+
+// Analyzer is the DyDroid pipeline.
+type Analyzer struct {
+	opts Options
+}
+
+// NewAnalyzer creates a pipeline with the given options.
+func NewAnalyzer(opts Options) *Analyzer {
+	if opts.MonkeyEvents == 0 {
+		opts.MonkeyEvents = 25
+	}
+	return &Analyzer{opts: opts}
+}
+
+// AnalyzeAPK runs the full pipeline (Fig. 1) on one application archive:
+// decompile, static pre-filter and obfuscation analysis, rewrite, dynamic
+// exercise with DCL logging/interception/tracking, then static malware,
+// vulnerability and privacy analysis of the intercepted code.
+func (a *Analyzer) AnalyzeAPK(apkBytes []byte) (*AppResult, error) {
+	res := &AppResult{}
+
+	u, err := a.opts.Tool.Unpack(apkBytes)
+	if err != nil {
+		if errors.Is(err, apktool.ErrDecompile) {
+			res.Status = StatusUnpackFailure
+			res.Obfuscation.AntiDecompile = true
+			return res, nil
+		}
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res.Package = u.APK.Manifest.Package
+	res.PreFilter = obfuscation.PreFilter(u)
+	det := obfuscation.Detector{Tool: a.opts.Tool}
+	res.Obfuscation = det.AnalyzeUnpacked(u)
+
+	if !res.PreFilter.HasDexDCL && !res.PreFilter.HasNativeDCL && !a.opts.RunDynamicWithoutDCL {
+		res.Status = StatusNoDCL
+		return res, nil
+	}
+
+	// Rewrite with the logging permission when missing.
+	runBytes := apkBytes
+	if !u.APK.Manifest.HasPermission(apk.WriteExternalStorage) {
+		rewritten, err := a.opts.Tool.Repack(apkBytes)
+		if err != nil {
+			if errors.Is(err, apktool.ErrRepack) {
+				res.Status = StatusRewriteFailure
+				return res, nil
+			}
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		runBytes = rewritten
+	}
+
+	// Dynamic phase, with one retry after cleaning external storage when
+	// the device runs out of space (automatic exception handling).
+	run, err := a.runDynamic(runBytes, nil)
+	if err != nil && isNoSpace(err) {
+		run, err = a.runDynamic(runBytes, func(dev *android.Device) {
+			dev.Storage.RemovePrefix(LogRoot)
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res.Events = run.events
+	res.RuntimeEvents = run.vmEvents
+	switch run.outcome {
+	case monkey.OutcomeNoActivity:
+		res.Status = StatusNoActivity
+		return res, nil
+	case monkey.OutcomeCrash:
+		// Crashes keep whatever was intercepted before the process died.
+		res.Status = StatusCrash
+		res.Crash = run.crash
+	default:
+		res.Status = StatusExercised
+	}
+
+	a.staticOnIntercepted(res)
+	minSDK := u.APK.Manifest.MinSDK
+	res.Vulns = AnalyzeVulnerabilities(res.Package, minSDK, res.Events)
+	return res, nil
+}
+
+func isNoSpace(err error) bool {
+	return err != nil &&
+		(errors.Is(err, android.ErrNoSpace) || strings.Contains(err.Error(), "no space left"))
+}
+
+// dynRun is the outcome of one dynamic exercise.
+type dynRun struct {
+	outcome  monkey.Outcome
+	crash    error
+	events   []*DCLEvent
+	vmEvents []vm.Event
+}
+
+// runDynamic provisions a fresh device, installs the app with full
+// instrumentation and exercises it. preLaunch mutates the device after
+// provisioning (used by the retry path and the Table VIII replays).
+func (a *Analyzer) runDynamic(apkBytes []byte, preLaunch func(*android.Device)) (*dynRun, error) {
+	devOpts := []android.Option{}
+	if a.opts.StorageQuota > 0 {
+		devOpts = append(devOpts, android.WithStorageQuota(a.opts.StorageQuota))
+	}
+	dev := android.NewDevice(devOpts...)
+	if a.opts.SetupDevice != nil {
+		if err := a.opts.SetupDevice(dev); err != nil {
+			return nil, fmt.Errorf("core: device setup: %w", err)
+		}
+	}
+	var net *netsim.Network
+	if a.opts.Network != nil {
+		net = a.opts.Network.Clone()
+		net.Online = dev.NetworkAvailable
+	}
+	parsed, err := apk.Parse(apkBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	app, err := dev.Packages.Install(parsed)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	logger := NewLogger(app.Package, dev.Storage)
+	logger.DisableBlocking = a.opts.DisableDeleteBlocking
+	tracker := NewTracker()
+	if preLaunch != nil {
+		preLaunch(dev)
+	}
+	machine, err := vm.New(dev, net, app, logger, tracker)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if a.opts.StepBudget > 0 {
+		machine.StepBudget = a.opts.StepBudget
+	}
+	mres := monkey.Exercise(machine, a.opts.MonkeyEvents, a.opts.Seed)
+
+	logger.FinalizeInterception()
+	events := logger.Events()
+	tracker.Annotate(events)
+	// Measurement events exclude system libraries.
+	var kept []*DCLEvent
+	for _, ev := range events {
+		if !ev.SystemLib {
+			kept = append(kept, ev)
+		}
+	}
+	if _, err := logger.DumpIntercepted(); err != nil && !isNoSpace(err) {
+		return nil, err
+	}
+	return &dynRun{
+		outcome:  mres.Outcome,
+		crash:    mres.Err,
+		events:   kept,
+		vmEvents: machine.Events(),
+	}, nil
+}
+
+// staticOnIntercepted runs DroidNative and the taint analysis over every
+// intercepted binary and fills the malware/privacy sections of the
+// result.
+func (a *Analyzer) staticOnIntercepted(res *AppResult) {
+	merged := &taint.Result{SourcesSeen: make(map[android.DataType]bool)}
+	classified := make(map[string]bool)
+	anyDex := false
+	for _, ev := range res.Events {
+		if ev.Intercepted == nil || classified[ev.Path] {
+			continue
+		}
+		classified[ev.Path] = true
+		switch {
+		case dex.IsOptimized(ev.Intercepted), isDex(ev.Intercepted):
+			df, err := dex.Decode(ev.Intercepted)
+			if err != nil {
+				continue
+			}
+			anyDex = true
+			if a.opts.Classifier != nil {
+				if det := a.opts.Classifier.Classify(mail.FromDex(df)); det.Malware {
+					res.Malware = append(res.Malware, MalwareHit{
+						Path: ev.Path, Kind: KindDex, Family: det.Family, Score: det.Score,
+					})
+				}
+			}
+			tr := taint.Analyze(df)
+			merged.Leaks = append(merged.Leaks, tr.Leaks...)
+			for dt := range tr.SourcesSeen {
+				merged.SourcesSeen[dt] = true
+			}
+		case nativebin.IsSELF(ev.Intercepted):
+			if a.opts.Classifier == nil {
+				continue
+			}
+			lib, err := nativebin.Decode(ev.Intercepted)
+			if err != nil {
+				continue
+			}
+			if det := a.opts.Classifier.Classify(mail.FromNative(lib)); det.Malware {
+				res.Malware = append(res.Malware, MalwareHit{
+					Path: ev.Path, Kind: KindNative, Family: det.Family, Score: det.Score,
+				})
+			}
+		}
+	}
+	if anyDex {
+		res.Privacy = merged
+		res.PrivacyByEntity = make(map[string]bool)
+		for _, dt := range merged.LeakedTypes() {
+			exclusive := true
+			for _, cls := range merged.LeakClasses(dt) {
+				if classifyEntity(res.Package, cls) == EntityOwn {
+					exclusive = false
+					break
+				}
+			}
+			res.PrivacyByEntity[string(dt)] = exclusive
+		}
+	}
+}
+
+func isDex(data []byte) bool {
+	return len(data) >= 4 && string(data[:4]) == dex.Magic
+}
+
+// ReplayUnderConfig re-runs the app's dynamic analysis under one Table
+// VIII runtime configuration and returns the set of file paths whose DCL
+// events fired (used to test whether malicious loads are gated on the
+// environment).
+func (a *Analyzer) ReplayUnderConfig(apkBytes []byte, cfg ReplayConfig, releaseDate time.Time) (map[string]bool, error) {
+	if releaseDate.IsZero() {
+		releaseDate = DefaultReleaseDate
+	}
+	run, err := a.runDynamic(apkBytes, func(dev *android.Device) {
+		switch cfg {
+		case ConfigTimeBeforeRelease:
+			dev.SetClock(releaseDate.AddDate(0, -1, 0))
+		case ConfigAirplaneWiFiOn:
+			dev.SetAirplaneMode(true)
+			dev.SetWiFi(true)
+		case ConfigAirplaneWiFiOff:
+			dev.SetAirplaneMode(true)
+		case ConfigLocationOff:
+			dev.SetLocationEnabled(false)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	loaded := make(map[string]bool)
+	for _, ev := range run.events {
+		loaded[ev.Path] = true
+	}
+	return loaded, nil
+}
+
+// RewriteNeeded reports whether dynamic analysis of this archive would
+// require repackaging (no WRITE_EXTERNAL_STORAGE declared).
+func RewriteNeeded(a *apk.APK) bool {
+	return !a.Manifest.HasPermission(apk.WriteExternalStorage)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/dydroid/dydroid/internal/netsim"
+)
+
+// Tracker is the download tracker: it implements netsim.Recorder,
+// accumulating the object-flow graph whose edges are the Table I rules,
+// and answers provenance queries by searching for a path from a URL
+// object to a File object bound to the loaded path (paper §III-B: "In the
+// data flow graph, we search the paths from a URL to a File").
+type Tracker struct {
+	mu sync.Mutex
+	// urls maps URL objects to their spec strings.
+	urls map[netsim.ObjectID]string
+	// rev holds reverse edges (to -> froms) for backward search from files.
+	rev map[netsim.ObjectID][]netsim.ObjectID
+	// binds maps storage paths to the File objects bound to them.
+	binds map[string][]netsim.ObjectID
+	// bindPath is the reverse of binds: every File object's path. The
+	// provenance search treats same-path File objects as aliases — a
+	// java.io.File constructed over an already-downloaded path must
+	// inherit its history (the paper identifies objects by type+hashcode,
+	// and path is the join key between them).
+	bindPath map[netsim.ObjectID]string
+	// flowCount counts edges for reporting.
+	flowCount int
+}
+
+// NewTracker creates an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		urls:     make(map[netsim.ObjectID]string),
+		rev:      make(map[netsim.ObjectID][]netsim.ObjectID),
+		binds:    make(map[string][]netsim.ObjectID),
+		bindPath: make(map[netsim.ObjectID]string),
+	}
+}
+
+// RecordURLInit implements netsim.Recorder.
+func (t *Tracker) RecordURLInit(obj netsim.ObjectID, url string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.urls[obj] = url
+}
+
+// RecordFlow implements netsim.Recorder.
+func (t *Tracker) RecordFlow(from, to netsim.ObjectID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rev[to] = append(t.rev[to], from)
+	t.flowCount++
+}
+
+// RecordFileBind implements netsim.Recorder.
+func (t *Tracker) RecordFileBind(obj netsim.ObjectID, path string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.binds[path] = append(t.binds[path], obj)
+	t.bindPath[obj] = path
+}
+
+// FlowCount returns the number of recorded flow edges.
+func (t *Tracker) FlowCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flowCount
+}
+
+// Provenance classifies the origin of the file at path: if any File
+// object bound to the path is reachable (backwards) from a URL object,
+// the load is remote and the URL is returned.
+func (t *Tracker) Provenance(path string) (Provenance, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := t.binds[path]
+	if len(start) == 0 {
+		return ProvenanceLocal, ""
+	}
+	seen := make(map[netsim.ObjectID]bool)
+	stack := append([]netsim.ObjectID(nil), start...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if url, ok := t.urls[n]; ok {
+			return ProvenanceRemote, url
+		}
+		stack = append(stack, t.rev[n]...)
+		// Alias closure: every File object bound to the same path shares
+		// the history (a fresh java.io.File over a downloaded path).
+		if p, ok := t.bindPath[n]; ok {
+			stack = append(stack, t.binds[p]...)
+		}
+	}
+	return ProvenanceLocal, ""
+}
+
+// Annotate fills Provenance and SourceURL on every event.
+func (t *Tracker) Annotate(events []*DCLEvent) {
+	for _, ev := range events {
+		ev.Provenance, ev.SourceURL = t.Provenance(ev.Path)
+	}
+}

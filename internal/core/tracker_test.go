@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/dydroid/dydroid/internal/netsim"
+)
+
+// chainSpec describes one randomly generated object-flow chain ending in
+// a file write; fromURL says whether the chain originates at a URL
+// (remote) or at a local file/buffer (local).
+type chainSpec struct {
+	fromURL bool
+	hops    int
+	path    string
+	url     string
+}
+
+// buildChain replays the spec through the netsim object world, emitting
+// the same Table I events real app execution would.
+func buildChain(fac *netsim.Factory, spec chainSpec) {
+	var in *netsim.InputStream
+	if spec.fromURL {
+		// URL -> InputStream, as Network.OpenStream emits after a fetch.
+		u := fac.NewURL(spec.url)
+		in = u.OpenWith([]byte("data-from-" + spec.url))
+	} else {
+		src := fac.NewFile("/data/local/seed-" + spec.path)
+		in = src.Open([]byte("local-data"))
+	}
+	// A random number of wrapping hops (InputStream -> InputStream,
+	// Buffer round-trips) before the final write.
+	for i := 0; i < spec.hops; i++ {
+		switch i % 3 {
+		case 0:
+			in = in.Wrap()
+		case 1:
+			buf := in.ReadAll()
+			in = buf.AsInputStream()
+		case 2:
+			buf := in.ReadAll()
+			tmp := fac.NewOutputStream("")
+			tmp.Write(buf)
+			in = tmp.ToBuffer().AsInputStream()
+		}
+	}
+	out := fac.NewOutputStream(spec.path)
+	for {
+		b := in.Read(8)
+		if b == nil {
+			break
+		}
+		out.Write(b)
+	}
+	out.CloseToFile()
+}
+
+func TestPropertyTrackerProvenance(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(6)
+			specs := make([]chainSpec, n)
+			for i := range specs {
+				specs[i] = chainSpec{
+					fromURL: r.Intn(2) == 0,
+					hops:    r.Intn(5),
+					path:    fmt.Sprintf("/data/data/app/cache/f%d.dex", i),
+					url:     fmt.Sprintf("http://host%d.example/p%d.jar", r.Intn(3), i),
+				}
+			}
+			vals[0] = reflect.ValueOf(specs)
+		},
+	}
+	prop := func(specs []chainSpec) bool {
+		tracker := NewTracker()
+		fac := netsim.NewFactory(tracker)
+		for _, spec := range specs {
+			buildChain(fac, spec)
+		}
+		for _, spec := range specs {
+			prov, url := tracker.Provenance(spec.path)
+			if spec.fromURL {
+				if prov != ProvenanceRemote || url != spec.url {
+					return false
+				}
+			} else if prov != ProvenanceLocal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerFileRenamePreservesProvenance(t *testing.T) {
+	tracker := NewTracker()
+	fac := netsim.NewFactory(tracker)
+	buildChain(fac, chainSpec{fromURL: true, hops: 1,
+		path: "/data/data/a/cache/tmp.jar", url: "http://x.example/p.jar"})
+	// File -> File: the app renames the download before loading it.
+	var fv *netsim.FileValue
+	// Re-bind: the rename emits a fresh File object for the destination.
+	fv = fac.NewFile("/data/data/a/cache/tmp.jar")
+	fv.CopyTo("/data/data/a/files/final.jar")
+	prov, url := tracker.Provenance("/data/data/a/files/final.jar")
+	if prov != ProvenanceRemote || url != "http://x.example/p.jar" {
+		t.Fatalf("provenance after rename = %s %s", prov, url)
+	}
+}

@@ -1,0 +1,231 @@
+package corpus
+
+import "math"
+
+// PaperCounts holds every calibration constant from the paper's
+// measurement (Tables II-X). The generator plants ground truth at these
+// rates; the pipeline re-measures them.
+type PaperCounts struct {
+	Total int // 58,739 crawled apps
+
+	// Table II, DEX side.
+	DexCandidates      int // 40,849 apps with class-loader code in the IR
+	DexRewriteFailures int // 454
+	DexNoActivity      int // 8
+	DexCrashes         int // 33
+	DexIntercepted     int // 16,768
+
+	// Table II, native side.
+	NativeCandidates      int // 25,287
+	NativeRewriteFailures int // 133
+	NativeNoActivity      int // 13
+	NativeCrashes         int // 184
+	NativeIntercepted     int // 13,748
+
+	// §V-A: 46K apps have DCL operations; 54 fail decompilation.
+	UnionCandidates int // 46,000
+	AntiDecompile   int // 54
+
+	// §V-B: ad-library interceptions and the Baidu remote fetchers.
+	AdApps     int // 15,012 apps loading Google-Ads-style binaries
+	RemoteApps int // 27 (Table V)
+
+	// Table IV entity splits (own-only / both derived from the rows).
+	DexOwnOnly    int // 13 (50 own - 37 both)
+	DexBoth       int // 37
+	NativeOwnOnly int // 1,914 (2,280 - 366)
+	NativeBoth    int // 366
+	// Table VI.
+	Lexical    int // 52,836
+	Reflection int // 30,664
+	Packed     int // 140
+	// Table VII.
+	SwissApps    int // 1
+	AdwareApps   int // 2
+	ChathookApps int // 84
+	MalwareFiles int // 91
+	// Table VIII (files NOT loaded under each configuration).
+	GateTime     int // 19 (91-72)
+	GateAirplane int // 35 (91-56)
+	GateConn     int // 3  (91-53-35)
+	GateLocation int // 21 (91-70)
+	// Table IX.
+	VulnDexExternal  int // 7
+	VulnNativeIntern int // 7
+	// Table X: apps reading settings beyond the ad library.
+	SettingsReaders int // 16,482 - 15,012 = 1,470
+	OwnSettings     int // 16,482 - 16,441 = 41
+}
+
+// Paper returns the full-scale calibration constants.
+func Paper() PaperCounts {
+	return PaperCounts{
+		Total:                 58739,
+		DexCandidates:         40849,
+		DexRewriteFailures:    454,
+		DexNoActivity:         8,
+		DexCrashes:            33,
+		DexIntercepted:        16768,
+		NativeCandidates:      25287,
+		NativeRewriteFailures: 133,
+		NativeNoActivity:      13,
+		NativeCrashes:         184,
+		NativeIntercepted:     13748,
+		UnionCandidates:       46000,
+		AntiDecompile:         54,
+		AdApps:                15012,
+		RemoteApps:            27,
+		DexOwnOnly:            13,
+		DexBoth:               37,
+		NativeOwnOnly:         1914,
+		NativeBoth:            366,
+		Lexical:               52836,
+		Reflection:            30664,
+		Packed:                140,
+		SwissApps:             1,
+		AdwareApps:            2,
+		ChathookApps:          84,
+		MalwareFiles:          91,
+		GateTime:              19,
+		GateAirplane:          35,
+		GateConn:              3,
+		GateLocation:          21,
+		VulnDexExternal:       7,
+		VulnNativeIntern:      7,
+		SettingsReaders:       1470,
+		OwnSettings:           41,
+	}
+}
+
+// TableXTypes lists the Table X rows: data type name, total apps, and the
+// exclusively-third-party count, paper order. Settings is handled
+// separately (ad apps + SettingsReaders).
+type TableXRow struct {
+	Type      string
+	Apps      int
+	Exclusive int
+}
+
+// TableX holds the per-type privacy counts of Table X (Settings excluded;
+// see PaperCounts.SettingsReaders).
+var TableX = []TableXRow{
+	{"Location", 254, 251},
+	{"IMEI", 581, 576},
+	{"IMSI", 27, 25},
+	{"ICCID", 8, 6},
+	{"Phone number", 12, 10},
+	{"Account", 23, 23},
+	{"Installed applications", 32, 28},
+	{"Installed packages", 235, 231},
+	{"Contact", 1, 1},
+	{"Calendar", 76, 73},
+	{"CallLog", 32, 32},
+	{"Browser", 1, 1},
+	{"Audio", 5, 5},
+	{"Image", 74, 72},
+	{"Video", 31, 31},
+	{"MMS", 1, 1},
+	{"SMS", 1, 1},
+}
+
+// PackerCategories is the Figure 3 shape: DEX-encryption apps per store
+// category, Entertainment/Tools/Shopping dominant. The counts sum to the
+// Packed total (140).
+var PackerCategories = []struct {
+	Category string
+	Apps     int
+}{
+	{"Entertainment", 38},
+	{"Tools", 30},
+	{"Shopping", 24},
+	{"Games", 8},
+	{"Finance", 8},
+	{"Productivity", 7},
+	{"Social", 6},
+	{"Communication", 5},
+	{"Education", 4},
+	{"Music", 3},
+	{"Photography", 3},
+	{"Travel", 2},
+	{"News", 2},
+}
+
+// RemotePackages are the 27 Table V package names.
+var RemotePackages = []string{
+	"com.ipeaksoft.pitDadGame", "com.xy.mobile.shaketoflashlight",
+	"org.madgame.Idom", "com.yb.sex.cartoon5",
+	"com.jianhui.FJDazhan", "com.quwenba.i9300manual",
+	"com.rhino.itruthdare", "com.xiangqi.fanapp.a1521",
+	"com.huijia.moyan", "org.mfactory.three.bubble",
+	"com.huijia.zuoqingwen", "apps.simple.recipe",
+	"com.xiangqi.fanapp.a1284", "com.ioteam.numbertest",
+	"com.avpig.acc", "air.com.qqqf.xxywszzy2a",
+	"com.seven.chuanyueqinggong", "com.game.knyds",
+	"air.com.qqqf.xxnjyybdc123456", "com.seven.tiancantudou",
+	"com.conpany.smile.ui", "com.classicalmuseumad.cnad",
+	"com.seven.chuanyuegongting", "com.seven.mengrushenj",
+	"com.nexusgame.popbirds", "com.XTWorks.lolsol",
+	"com.Long.ButtonsShowAndroid",
+}
+
+// VulnDexPackages are the Table IX external-storage DEX loaders.
+var VulnDexPackages = []string{
+	"com.longtukorea.snmg", "com.felink.android.launcher91",
+	"com.ycgame.cf1en.gpiap", "com.fitfun.cubizone.love",
+	"com.fkccy.view", "com.trustlook.fakeiddetector",
+	"com.leduo.endcallsms",
+}
+
+// VulnNativePackages are the Table IX other-app-internal native loaders;
+// the first six load Adobe AIR's libCore.so, the last loads the
+// Devicescape offloader library.
+var VulnNativePackages = []string{
+	"com.devicescape.usc.wifinow", "com.renren.and02506",
+	"air.air.com.hi4o.game.Subway_Rushers", "air.com.fire.ane.test.bubblecrazy",
+	"com.renren.wan.war", "air.com.fire.ane.test.ANETest",
+	"com.moeapps",
+}
+
+// MalwareSamplePackages are the Table VII sample apps.
+const (
+	SwissPackage    = "com.sktelecom.hoppin.mobile"
+	AdwarePackage   = "com.oshare.app"
+	ChathookPackage = "com.com2us.tinyfarm.normal.freefull.google.global.android.common"
+)
+
+// Companion package names pre-installed on every analysis device.
+const (
+	AdobeAirPackage    = "com.adobe.air"
+	DevicescapePackage = "com.devicescape.offloader"
+	QQPackage          = "com.tencent.mobileqq"
+	WeChatPackage      = "com.tencent.mm"
+)
+
+// Categories is the 42-category store taxonomy (§V-A).
+var Categories = []string{
+	"Books", "Business", "Comics", "Communication", "Education",
+	"Entertainment", "Finance", "Games", "Health", "Libraries",
+	"Lifestyle", "Media", "Medical", "Music", "News", "Personalization",
+	"Photography", "Productivity", "Shopping", "Social", "Sports",
+	"Tools", "Transportation", "Travel", "Weather", "Widgets",
+	"Action", "Adventure", "Arcade", "Board", "Card", "Casino",
+	"Casual", "Puzzle", "Racing", "RolePlaying", "Simulation",
+	"Strategy", "Trivia", "Word", "Family", "Events",
+}
+
+// Scaled scales a full-scale count by the configured factor, rounding to
+// nearest, and keeps non-zero counts alive at small scales (a planted
+// singleton like the Swiss-code-monkeys app must survive scaling).
+func Scaled(n int, scale float64) int {
+	if n == 0 || scale <= 0 {
+		return 0
+	}
+	if scale >= 1 {
+		return n
+	}
+	s := int(math.Round(float64(n) * scale))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,318 @@
+package dex
+
+// Builder constructs SDEX files programmatically. It is the API the corpus
+// generator and the obfuscators use to synthesize application bytecode.
+//
+//	b := dex.NewBuilder()
+//	cls := b.Class("com.example.Main", "android.app.Activity")
+//	m := cls.Method("onCreate", dex.ACCPublic, 4, "V")
+//	m.ConstString(0, "/data/data/com.example/cache/x.dex")
+//	...
+//	file := b.File()
+type Builder struct {
+	file File
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// File finishes the build and returns the accumulated file. The builder
+// may continue to be used; the returned file shares structure with it.
+func (b *Builder) File() *File {
+	return &b.file
+}
+
+// Class starts (or reopens) a class with the given Java binary name and
+// superclass. Reopening returns the existing class builder.
+func (b *Builder) Class(name, super string) *ClassBuilder {
+	if c := b.file.FindClass(name); c != nil {
+		return &ClassBuilder{c: c}
+	}
+	c := &Class{Name: name, Super: super, Flags: ACCPublic}
+	b.file.Classes = append(b.file.Classes, c)
+	return &ClassBuilder{c: c}
+}
+
+// ClassBuilder adds members to one class.
+type ClassBuilder struct {
+	c *Class
+}
+
+// Raw returns the underlying class.
+func (cb *ClassBuilder) Raw() *Class { return cb.c }
+
+// Flags sets the class access flags.
+func (cb *ClassBuilder) Flags(f AccessFlags) *ClassBuilder {
+	cb.c.Flags = f
+	return cb
+}
+
+// Implements appends interface names.
+func (cb *ClassBuilder) Implements(ifaces ...string) *ClassBuilder {
+	cb.c.Interfaces = append(cb.c.Interfaces, ifaces...)
+	return cb
+}
+
+// Field adds a field.
+func (cb *ClassBuilder) Field(name, typ string, flags AccessFlags) *ClassBuilder {
+	cb.c.Fields = append(cb.c.Fields, &Field{Name: name, Type: typ, Flags: flags})
+	return cb
+}
+
+// Method starts a method with the given name, flags, register count and
+// return descriptor. Parameter descriptors follow.
+func (cb *ClassBuilder) Method(name string, flags AccessFlags, registers int, ret string, params ...string) *MethodBuilder {
+	m := &Method{
+		Name:      name,
+		Flags:     flags,
+		Registers: registers,
+		Return:    ret,
+		Params:    params,
+	}
+	cb.c.Methods = append(cb.c.Methods, m)
+	return &MethodBuilder{m: m, cls: cb.c}
+}
+
+// NativeMethod declares a method with the native flag and no body.
+func (cb *ClassBuilder) NativeMethod(name string, ret string, params ...string) *ClassBuilder {
+	cb.c.Methods = append(cb.c.Methods, &Method{
+		Name:   name,
+		Flags:  ACCPublic | ACCNative,
+		Return: ret,
+		Params: params,
+	})
+	return cb
+}
+
+// MethodBuilder appends instructions to one method body and resolves
+// labels to branch targets.
+type MethodBuilder struct {
+	m      *Method
+	cls    *Class
+	labels map[string]int // label -> instruction index
+	fixups map[int]string // instruction index -> pending label
+}
+
+// Raw returns the method being built.
+func (mb *MethodBuilder) Raw() *Method { return mb.m }
+
+// Ref returns the symbolic reference of the method being built.
+func (mb *MethodBuilder) Ref() MethodRef { return mb.m.Ref(mb.cls) }
+
+func (mb *MethodBuilder) emit(in Instruction) *MethodBuilder {
+	mb.m.Code = append(mb.m.Code, in)
+	return mb
+}
+
+// Label binds a name to the next instruction index.
+func (mb *MethodBuilder) Label(name string) *MethodBuilder {
+	if mb.labels == nil {
+		mb.labels = make(map[string]int)
+	}
+	mb.labels[name] = len(mb.m.Code)
+	return mb
+}
+
+func (mb *MethodBuilder) branch(op Opcode, a, b int, label string) *MethodBuilder {
+	if mb.fixups == nil {
+		mb.fixups = make(map[int]string)
+	}
+	mb.fixups[len(mb.m.Code)] = label
+	return mb.emit(Instruction{Op: op, A: a, B: b})
+}
+
+// Done resolves labels. Call after the last instruction; unresolved labels
+// panic because they are programming errors in generator code, never
+// runtime inputs.
+func (mb *MethodBuilder) Done() *Method {
+	for idx, label := range mb.fixups {
+		target, ok := mb.labels[label]
+		if !ok {
+			panic("dex: unresolved label " + label + " in " + mb.cls.Name + "." + mb.m.Name)
+		}
+		mb.m.Code[idx].Target = target
+	}
+	mb.fixups = nil
+	return mb.m
+}
+
+// Nop appends a nop.
+func (mb *MethodBuilder) Nop() *MethodBuilder { return mb.emit(Instruction{Op: OpNop}) }
+
+// Const loads an integer constant into vA.
+func (mb *MethodBuilder) Const(a int, v int64) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpConst, A: a, Value: v})
+}
+
+// ConstString loads a string literal into vA.
+func (mb *MethodBuilder) ConstString(a int, s string) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpConstString, A: a, Str: s})
+}
+
+// Move copies vB into vA.
+func (mb *MethodBuilder) Move(a, b int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpMove, A: a, B: b})
+}
+
+// MoveResult captures the previous invoke's result into vA.
+func (mb *MethodBuilder) MoveResult(a int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpMoveResult, A: a})
+}
+
+// NewInstance allocates an instance of the class (Java binary name) into vA.
+func (mb *MethodBuilder) NewInstance(a int, class string) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpNewInstance, A: a, Str: class})
+}
+
+// NewArray allocates an array of the element type with length vB into vA.
+func (mb *MethodBuilder) NewArray(a, b int, elem string) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpNewArray, A: a, B: b, Str: elem})
+}
+
+// InvokeVirtual calls the method; args[0] is the receiver.
+func (mb *MethodBuilder) InvokeVirtual(ref MethodRef, args ...int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpInvokeVirtual, Method: ref, Args: args})
+}
+
+// InvokeDirect calls a constructor or private method; args[0] is the
+// receiver.
+func (mb *MethodBuilder) InvokeDirect(ref MethodRef, args ...int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpInvokeDirect, Method: ref, Args: args})
+}
+
+// InvokeStatic calls a static method.
+func (mb *MethodBuilder) InvokeStatic(ref MethodRef, args ...int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpInvokeStatic, Method: ref, Args: args})
+}
+
+// InvokeInterface calls through an interface; args[0] is the receiver.
+func (mb *MethodBuilder) InvokeInterface(ref MethodRef, args ...int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpInvokeInterface, Method: ref, Args: args})
+}
+
+// IGet reads vB.field into vA.
+func (mb *MethodBuilder) IGet(a, b int, field FieldRef) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpIGet, A: a, B: b, Field: field})
+}
+
+// IPut writes vA into vB.field.
+func (mb *MethodBuilder) IPut(a, b int, field FieldRef) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpIPut, A: a, B: b, Field: field})
+}
+
+// SGet reads the static field into vA.
+func (mb *MethodBuilder) SGet(a int, field FieldRef) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpSGet, A: a, Field: field})
+}
+
+// SPut writes vA into the static field.
+func (mb *MethodBuilder) SPut(a int, field FieldRef) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpSPut, A: a, Field: field})
+}
+
+// Add emits vA = vB + vC.
+func (mb *MethodBuilder) Add(a, b, c int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpAdd, A: a, B: b, C: c})
+}
+
+// Sub emits vA = vB - vC.
+func (mb *MethodBuilder) Sub(a, b, c int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpSub, A: a, B: b, C: c})
+}
+
+// Mul emits vA = vB * vC.
+func (mb *MethodBuilder) Mul(a, b, c int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpMul, A: a, B: b, C: c})
+}
+
+// Div emits vA = vB / vC.
+func (mb *MethodBuilder) Div(a, b, c int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpDiv, A: a, B: b, C: c})
+}
+
+// Xor emits vA = vB ^ vC.
+func (mb *MethodBuilder) Xor(a, b, c int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpXor, A: a, B: b, C: c})
+}
+
+// Emit appends a raw instruction (escape hatch for tests and tools).
+func (mb *MethodBuilder) Emit(in Instruction) *MethodBuilder {
+	return mb.emit(in)
+}
+
+// IfEqz branches to label when vA == 0.
+func (mb *MethodBuilder) IfEqz(a int, label string) *MethodBuilder {
+	return mb.branch(OpIfEqz, a, 0, label)
+}
+
+// IfNez branches to label when vA != 0.
+func (mb *MethodBuilder) IfNez(a int, label string) *MethodBuilder {
+	return mb.branch(OpIfNez, a, 0, label)
+}
+
+// IfEq branches to label when vA == vB.
+func (mb *MethodBuilder) IfEq(a, b int, label string) *MethodBuilder {
+	return mb.branch(OpIfEq, a, b, label)
+}
+
+// IfNe branches to label when vA != vB.
+func (mb *MethodBuilder) IfNe(a, b int, label string) *MethodBuilder {
+	return mb.branch(OpIfNe, a, b, label)
+}
+
+// IfLt branches to label when vA < vB.
+func (mb *MethodBuilder) IfLt(a, b int, label string) *MethodBuilder {
+	return mb.branch(OpIfLt, a, b, label)
+}
+
+// IfGe branches to label when vA >= vB.
+func (mb *MethodBuilder) IfGe(a, b int, label string) *MethodBuilder {
+	return mb.branch(OpIfGe, a, b, label)
+}
+
+// Goto branches unconditionally to label.
+func (mb *MethodBuilder) Goto(label string) *MethodBuilder {
+	return mb.branch(OpGoto, 0, 0, label)
+}
+
+// Return returns vA.
+func (mb *MethodBuilder) Return(a int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpReturn, A: a})
+}
+
+// ReturnVoid returns with no value.
+func (mb *MethodBuilder) ReturnVoid() *MethodBuilder {
+	return mb.emit(Instruction{Op: OpReturnVoid})
+}
+
+// Throw raises vA.
+func (mb *MethodBuilder) Throw(a int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpThrow, A: a})
+}
+
+// ArrayGet emits vA = vB[vC].
+func (mb *MethodBuilder) ArrayGet(a, b, c int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpArrayGet, A: a, B: b, C: c})
+}
+
+// ArrayPut emits vB[vC] = vA.
+func (mb *MethodBuilder) ArrayPut(a, b, c int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpArrayPut, A: a, B: b, C: c})
+}
+
+// ArrayLength emits vA = len(vB).
+func (mb *MethodBuilder) ArrayLength(a, b int) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpArrayLength, A: a, B: b})
+}
+
+// CheckCast asserts vA is an instance of the class.
+func (mb *MethodBuilder) CheckCast(a int, class string) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpCheckCast, A: a, Str: class})
+}
+
+// InstanceOf emits vA = (vB instanceof class).
+func (mb *MethodBuilder) InstanceOf(a, b int, class string) *MethodBuilder {
+	return mb.emit(Instruction{Op: OpInstanceOf, A: a, B: b, Str: class})
+}

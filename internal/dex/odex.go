@@ -1,0 +1,68 @@
+package dex
+
+// Optimize performs the dexopt analogue: it produces an ODEX-encoded copy
+// of the file with dead nops removed and branch targets rewritten. On
+// Android the optimized file lands in the optimizedDirectory passed to
+// DexClassLoader; DyDroid's DCL logger records that directory (paper
+// §III-B), so the VM writes Optimize's output there on load.
+func Optimize(f *File) ([]byte, error) {
+	opt := &File{Classes: make([]*Class, 0, len(f.Classes))}
+	for _, c := range f.Classes {
+		oc := &Class{
+			Name:       c.Name,
+			Super:      c.Super,
+			Interfaces: append([]string(nil), c.Interfaces...),
+			Flags:      c.Flags,
+			SourceFile: c.SourceFile,
+			Fields:     append([]*Field(nil), c.Fields...),
+		}
+		for _, m := range c.Methods {
+			oc.Methods = append(oc.Methods, optimizeMethod(m))
+		}
+		opt.Classes = append(opt.Classes, oc)
+	}
+	return encode(opt, MagicODEX)
+}
+
+// optimizeMethod strips nops, remapping branch targets. Instructions that
+// are branch targets are kept alignment-correct by the index map.
+func optimizeMethod(m *Method) *Method {
+	om := &Method{
+		Name:      m.Name,
+		Params:    append([]string(nil), m.Params...),
+		Return:    m.Return,
+		Flags:     m.Flags,
+		Registers: m.Registers,
+	}
+	if len(m.Code) == 0 {
+		return om
+	}
+	// Map old pc -> new pc. Nops are dropped; a branch to a nop retargets
+	// to the next surviving instruction.
+	newPC := make([]int, len(m.Code)+1)
+	n := 0
+	for pc, in := range m.Code {
+		newPC[pc] = n
+		if in.Op != OpNop {
+			n++
+		}
+	}
+	newPC[len(m.Code)] = n
+	om.Code = make([]Instruction, 0, n)
+	for _, in := range m.Code {
+		if in.Op == OpNop {
+			continue
+		}
+		if in.Op.IsBranch() {
+			in.Target = newPC[in.Target]
+			// A branch whose target was a trailing run of nops would point
+			// one past the end; anchor it to the last instruction, which in
+			// well-formed code is a terminator anyway.
+			if in.Target >= n {
+				in.Target = n - 1
+			}
+		}
+		om.Code = append(om.Code, in)
+	}
+	return om
+}

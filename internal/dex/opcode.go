@@ -1,0 +1,199 @@
+package dex
+
+// Opcode identifies an SDEX instruction. The set is a compact subset of the
+// Dalvik instruction set: enough to express the control and data flow the
+// paper's analyses depend on (const-string pools, invokes with symbolic
+// refs, field access, arithmetic, comparisons, branches).
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	OpNop Opcode = iota
+	// OpConst loads an integer constant: vA = Value.
+	OpConst
+	// OpConstString loads a string literal: vA = Str.
+	OpConstString
+	// OpMove copies a register: vA = vB.
+	OpMove
+	// OpMoveResult captures the result of the preceding invoke: vA = result.
+	OpMoveResult
+	// OpNewInstance allocates an object of class Str (Java binary name):
+	// vA = new Str.
+	OpNewInstance
+	// OpNewArray allocates an array of length vB: vA = new [Str](vB).
+	OpNewArray
+	// OpInvokeVirtual calls Method with receiver Args[0] and the remaining
+	// Args as parameters.
+	OpInvokeVirtual
+	// OpInvokeDirect calls a constructor or private method.
+	OpInvokeDirect
+	// OpInvokeStatic calls a static method; all Args are parameters.
+	OpInvokeStatic
+	// OpInvokeInterface calls through an interface.
+	OpInvokeInterface
+	// OpIGet reads an instance field: vA = vB.Field.
+	OpIGet
+	// OpIPut writes an instance field: vB.Field = vA.
+	OpIPut
+	// OpSGet reads a static field: vA = Field.
+	OpSGet
+	// OpSPut writes a static field: Field = vA.
+	OpSPut
+	// OpAdd, OpSub, OpMul, OpDiv, OpXor: vA = vB op vC.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpXor
+	// OpIfEq branches to Target when vA == vB.
+	OpIfEq
+	// OpIfNe branches to Target when vA != vB.
+	OpIfNe
+	// OpIfLt branches to Target when vA < vB.
+	OpIfLt
+	// OpIfGe branches to Target when vA >= vB.
+	OpIfGe
+	// OpIfEqz branches to Target when vA == 0.
+	OpIfEqz
+	// OpIfNez branches to Target when vA != 0.
+	OpIfNez
+	// OpGoto branches unconditionally to Target.
+	OpGoto
+	// OpReturn returns vA.
+	OpReturn
+	// OpReturnVoid returns with no value.
+	OpReturnVoid
+	// OpThrow raises vA as an exception.
+	OpThrow
+	// OpArrayGet reads an array element: vA = vB[vC].
+	OpArrayGet
+	// OpArrayPut writes an array element: vB[vC] = vA.
+	OpArrayPut
+	// OpArrayLength reads an array length: vA = len(vB).
+	OpArrayLength
+	// OpCheckCast asserts vA is of class Str (no-op at runtime here, kept
+	// for pattern fidelity).
+	OpCheckCast
+	// OpInstanceOf tests vB against class Str: vA = 0/1.
+	OpInstanceOf
+
+	opMax // sentinel; must remain last
+)
+
+var opNames = [...]string{
+	OpNop:             "nop",
+	OpConst:           "const",
+	OpConstString:     "const-string",
+	OpMove:            "move",
+	OpMoveResult:      "move-result",
+	OpNewInstance:     "new-instance",
+	OpNewArray:        "new-array",
+	OpInvokeVirtual:   "invoke-virtual",
+	OpInvokeDirect:    "invoke-direct",
+	OpInvokeStatic:    "invoke-static",
+	OpInvokeInterface: "invoke-interface",
+	OpIGet:            "iget",
+	OpIPut:            "iput",
+	OpSGet:            "sget",
+	OpSPut:            "sput",
+	OpAdd:             "add-int",
+	OpSub:             "sub-int",
+	OpMul:             "mul-int",
+	OpDiv:             "div-int",
+	OpXor:             "xor-int",
+	OpIfEq:            "if-eq",
+	OpIfNe:            "if-ne",
+	OpIfLt:            "if-lt",
+	OpIfGe:            "if-ge",
+	OpIfEqz:           "if-eqz",
+	OpIfNez:           "if-nez",
+	OpGoto:            "goto",
+	OpReturn:          "return",
+	OpReturnVoid:      "return-void",
+	OpThrow:           "throw",
+	OpArrayGet:        "aget",
+	OpArrayPut:        "aput",
+	OpArrayLength:     "array-length",
+	OpCheckCast:       "check-cast",
+	OpInstanceOf:      "instance-of",
+}
+
+// String returns the smali mnemonic for the opcode.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Valid reports whether the opcode is a defined instruction.
+func (o Opcode) Valid() bool { return o < opMax }
+
+// IsInvoke reports whether the opcode is any invoke variant.
+func (o Opcode) IsInvoke() bool {
+	switch o {
+	case OpInvokeVirtual, OpInvokeDirect, OpInvokeStatic, OpInvokeInterface:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the opcode carries a branch target.
+func (o Opcode) IsBranch() bool {
+	switch o {
+	case OpIfEq, OpIfNe, OpIfLt, OpIfGe, OpIfEqz, OpIfNez, OpGoto:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether the opcode is a conditional branch.
+func (o Opcode) IsConditional() bool {
+	return o.IsBranch() && o != OpGoto
+}
+
+// IsTerminator reports whether control never falls through the opcode.
+func (o Opcode) IsTerminator() bool {
+	switch o {
+	case OpGoto, OpReturn, OpReturnVoid, OpThrow:
+		return true
+	}
+	return false
+}
+
+// Instruction is a single SDEX instruction. Operand meaning depends on the
+// opcode (see the opcode doc comments). Unused operands are zero values.
+type Instruction struct {
+	Op     Opcode
+	A      int       // first register operand
+	B      int       // second register operand
+	C      int       // third register operand
+	Value  int64     // integer immediate (OpConst)
+	Str    string    // string/class operand (const-string, new-instance, ...)
+	Method MethodRef // invoke target
+	Field  FieldRef  // field access target
+	Target int       // branch target (instruction index)
+	Args   []int     // invoke argument registers
+}
+
+// registersUsed returns the registers referenced by the instruction, used
+// by Validate.
+func (in Instruction) registersUsed() []int {
+	switch in.Op {
+	case OpNop, OpGoto, OpReturnVoid:
+		return nil
+	case OpConst, OpConstString, OpMoveResult, OpNewInstance, OpSGet, OpSPut,
+		OpIfEqz, OpIfNez, OpReturn, OpThrow, OpCheckCast:
+		return []int{in.A}
+	case OpMove, OpNewArray, OpIGet, OpIPut, OpIfEq, OpIfNe, OpIfLt, OpIfGe,
+		OpArrayLength, OpInstanceOf:
+		return []int{in.A, in.B}
+	case OpAdd, OpSub, OpMul, OpDiv, OpXor, OpArrayGet, OpArrayPut:
+		return []int{in.A, in.B, in.C}
+	default:
+		if in.Op.IsInvoke() {
+			return in.Args
+		}
+		return nil
+	}
+}

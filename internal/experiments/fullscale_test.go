@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/corpus"
+)
+
+// TestFullScaleReproduction runs the complete 58,739-app measurement and
+// asserts exact equality with every count the paper publishes in Tables
+// II, IV, V, VI, VII, VIII, IX and X. It takes about 90 seconds on one
+// core; `go test -short` skips it.
+func TestFullScaleReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale measurement skipped in -short mode")
+	}
+	res, err := Run(Config{Seed: 2016, Scale: 1.0, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := corpus.Paper()
+	eq := func(name string, got, want int) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	eq("total apps", len(res.Records), p.Total)
+
+	// Table II.
+	var dexCand, dexRewrite, dexNoAct, dexCrash, dexInt int
+	var natCand, natRewrite, natNoAct, natCrash, natInt int
+	var unpackFail int
+	for _, rec := range res.Records {
+		if rec.Result.Status == core.StatusUnpackFailure {
+			unpackFail++
+		}
+		if dexCandidate(rec) {
+			dexCand++
+			switch rec.Result.Status {
+			case core.StatusRewriteFailure:
+				dexRewrite++
+			case core.StatusNoActivity:
+				dexNoAct++
+			case core.StatusCrash:
+				dexCrash++
+			}
+			if dexIntercepted(rec) {
+				dexInt++
+			}
+		}
+		if nativeCandidate(rec) {
+			natCand++
+			switch rec.Result.Status {
+			case core.StatusRewriteFailure:
+				natRewrite++
+			case core.StatusNoActivity:
+				natNoAct++
+			case core.StatusCrash:
+				natCrash++
+			}
+			if nativeIntercepted(rec) {
+				natInt++
+			}
+		}
+	}
+	eq("dex candidates", dexCand, p.DexCandidates)
+	eq("dex rewriting failures", dexRewrite, p.DexRewriteFailures)
+	eq("dex no-activity", dexNoAct, p.DexNoActivity)
+	eq("dex crashes", dexCrash, p.DexCrashes)
+	eq("dex intercepted", dexInt, p.DexIntercepted)
+	eq("native candidates", natCand, p.NativeCandidates)
+	eq("native rewriting failures", natRewrite, p.NativeRewriteFailures)
+	eq("native no-activity", natNoAct, p.NativeNoActivity)
+	eq("native crashes", natCrash, p.NativeCrashes)
+	eq("native intercepted", natInt, p.NativeIntercepted)
+	eq("anti-decompilation (unpack failures)", unpackFail, p.AntiDecompile)
+
+	// Table IV.
+	var dexThird, dexOwn, dexBoth, natThird, natOwn, natBoth int
+	for _, rec := range res.Records {
+		if dexIntercepted(rec) {
+			own, third := rec.Result.Entities(core.KindDex)
+			if third {
+				dexThird++
+			}
+			if own {
+				dexOwn++
+			}
+			if own && third {
+				dexBoth++
+			}
+		}
+		if nativeIntercepted(rec) {
+			own, third := rec.Result.Entities(core.KindNative)
+			if third {
+				natThird++
+			}
+			if own {
+				natOwn++
+			}
+			if own && third {
+				natBoth++
+			}
+		}
+	}
+	eq("dex third-party", dexThird, 16755)
+	eq("dex own", dexOwn, p.DexOwnOnly+p.DexBoth)
+	eq("dex both", dexBoth, p.DexBoth)
+	eq("native third-party", natThird, 11834)
+	eq("native own", natOwn, p.NativeOwnOnly+p.NativeBoth)
+	eq("native both", natBoth, p.NativeBoth)
+
+	// Table V.
+	remote := 0
+	for _, rec := range res.Records {
+		if len(rec.Result.RemoteURLs()) > 0 {
+			remote++
+		}
+	}
+	eq("remote-fetch apps", remote, p.RemoteApps)
+
+	// Table VI.
+	var lex, refl, packd int
+	for _, rec := range res.Records {
+		if rec.Result.Obfuscation.Lexical {
+			lex++
+		}
+		if rec.Result.Obfuscation.Reflection {
+			refl++
+		}
+		if rec.Result.Obfuscation.DEXEncryption {
+			packd++
+		}
+	}
+	eq("lexical obfuscation", lex, p.Lexical)
+	eq("reflection", refl, p.Reflection)
+	eq("dex encryption", packd, p.Packed)
+
+	// Table VII.
+	famApps := map[string]int{}
+	files := 0
+	for _, rec := range res.Records {
+		seen := map[string]bool{}
+		for _, hit := range rec.Result.Malware {
+			if !seen[hit.Family] {
+				seen[hit.Family] = true
+				famApps[hit.Family]++
+			}
+			files++
+		}
+	}
+	eq("swiss apps", famApps["Swiss code monkeys"], p.SwissApps)
+	eq("adware apps", famApps["Adware airpush minimob"], p.AdwareApps)
+	eq("chathook apps", famApps["Chathook ptrace"], p.ChathookApps)
+	eq("malware families", len(famApps), 3)
+	eq("malicious files", files, p.MalwareFiles)
+
+	// Table VIII.
+	loaded := map[core.ReplayConfig]int{}
+	for _, rec := range res.Records {
+		for _, cfg := range core.AllReplayConfigs {
+			for path := range rec.MalwarePaths {
+				if rec.ReplayLoaded[cfg][path] {
+					loaded[cfg]++
+				}
+			}
+		}
+	}
+	eq("loaded under time-before-release", loaded[core.ConfigTimeBeforeRelease], p.MalwareFiles-p.GateTime)
+	eq("loaded under airplane+wifi-on", loaded[core.ConfigAirplaneWiFiOn], p.MalwareFiles-p.GateAirplane)
+	eq("loaded under airplane+wifi-off", loaded[core.ConfigAirplaneWiFiOff], p.MalwareFiles-p.GateAirplane-p.GateConn)
+	eq("loaded under location-off", loaded[core.ConfigLocationOff], p.MalwareFiles-p.GateLocation)
+
+	// Table IX.
+	var vulnExt, vulnIntern int
+	for _, rec := range res.Records {
+		seen := map[core.VulnKind]bool{}
+		for _, v := range rec.Result.Vulns {
+			if !seen[v.Kind] {
+				seen[v.Kind] = true
+				switch v.Kind {
+				case core.VulnExternalStorage:
+					vulnExt++
+				case core.VulnOtherAppInternal:
+					vulnIntern++
+				}
+			}
+		}
+	}
+	eq("vulnerable external-storage apps", vulnExt, p.VulnDexExternal)
+	eq("vulnerable other-app-internal apps", vulnIntern, p.VulnNativeIntern)
+
+	// Table X (every row, including entity attribution).
+	apps := map[string]int{}
+	excl := map[string]int{}
+	for _, rec := range res.Records {
+		if rec.Result.Privacy == nil {
+			continue
+		}
+		for _, dt := range rec.Result.Privacy.LeakedTypes() {
+			apps[string(dt)]++
+			if rec.Result.PrivacyByEntity[string(dt)] {
+				excl[string(dt)]++
+			}
+		}
+	}
+	for _, row := range corpus.TableX {
+		eq("Table X "+row.Type, apps[row.Type], row.Apps)
+		eq("Table X "+row.Type+" exclusive", excl[row.Type], row.Exclusive)
+	}
+	eq("Table X Settings", apps[string(android.DTSettings)], p.AdApps+p.SettingsReaders)
+	eq("Table X Settings exclusive", excl[string(android.DTSettings)], p.AdApps+p.SettingsReaders-p.OwnSettings)
+}

@@ -1,0 +1,170 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): it generates the calibrated marketplace, runs the full
+// DyDroid pipeline over every app (in parallel), replays the malware apps
+// under the four Table VIII device configurations, and renders each
+// table with the paper-reported values alongside the measured ones.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/corpus"
+	"github.com/dydroid/dydroid/internal/droidnative"
+)
+
+// Config controls a measurement run.
+type Config struct {
+	// Seed drives corpus generation and fuzzing.
+	Seed int64
+	// Scale shrinks the marketplace (1.0 = the paper's 58,739 apps).
+	Scale float64
+	// Workers is the pipeline parallelism (default: GOMAXPROCS).
+	Workers int
+	// TrainPerFamily sets DroidNative training samples per family
+	// (default 3; the paper used ~65).
+	TrainPerFamily int
+	// MonkeyEvents is the per-app fuzz budget (default 25).
+	MonkeyEvents int
+	// Progress, when non-nil, receives periodic progress callbacks.
+	Progress func(done, total int)
+}
+
+// AppRecord pairs store metadata with the pipeline's findings for one app.
+type AppRecord struct {
+	Meta   corpus.Metadata
+	Result *core.AppResult
+	// ReplayLoaded maps each Table VIII configuration to the set of
+	// malicious file paths still loaded under it (malware apps only).
+	ReplayLoaded map[core.ReplayConfig]map[string]bool
+	// MalwarePaths is the set of paths DroidNative flagged for this app.
+	MalwarePaths map[string]bool
+}
+
+// Results is the complete measurement output.
+type Results struct {
+	Config  Config
+	Scale   float64
+	Records []*AppRecord
+	// Elapsed is the wall-clock measurement time.
+	Elapsed time.Duration
+}
+
+// Run executes the measurement.
+func Run(cfg Config) (*Results, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	store, err := corpus.Generate(corpus.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	clf, err := store.TrainingSet(cfg.TrainPerFamily)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	records := make([]*AppRecord, len(store.Apps))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	errCh := make(chan error, cfg.Workers)
+	var done int64
+	var doneMu sync.Mutex
+
+	worker := func() {
+		defer wg.Done()
+		an := newAnalyzer(cfg, store, clf)
+		for i := range jobs {
+			rec, err := analyzeOne(an, store, store.Apps[i])
+			if err != nil {
+				select {
+				case errCh <- fmt.Errorf("experiments: %s: %w", store.Apps[i].Spec.Pkg, err):
+				default:
+				}
+				continue
+			}
+			records[i] = rec
+			if cfg.Progress != nil {
+				doneMu.Lock()
+				done++
+				d := int(done)
+				doneMu.Unlock()
+				if d%500 == 0 || d == len(store.Apps) {
+					cfg.Progress(d, len(store.Apps))
+				}
+			}
+		}
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	for i := range store.Apps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	return &Results{
+		Config:  cfg,
+		Scale:   cfg.Scale,
+		Records: records,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+func newAnalyzer(cfg Config, store *corpus.Store, clf *droidnative.Classifier) *core.Analyzer {
+	return core.NewAnalyzer(core.Options{
+		Seed:         cfg.Seed,
+		MonkeyEvents: cfg.MonkeyEvents,
+		Classifier:   clf,
+		Network:      store.Network,
+		SetupDevice:  store.SetupDevice,
+	})
+}
+
+// analyzeOne runs the pipeline for one app and, when malware is found,
+// the four replay configurations.
+func analyzeOne(an *core.Analyzer, store *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+	data, err := store.BuildAPK(app)
+	if err != nil {
+		return nil, err
+	}
+	res, err := an.AnalyzeAPK(data)
+	if err != nil {
+		return nil, err
+	}
+	rec := &AppRecord{Meta: app.Meta, Result: res}
+	if len(res.Malware) > 0 {
+		rec.MalwarePaths = make(map[string]bool, len(res.Malware))
+		for _, hit := range res.Malware {
+			rec.MalwarePaths[hit.Path] = true
+		}
+		rec.ReplayLoaded = make(map[core.ReplayConfig]map[string]bool, len(core.AllReplayConfigs))
+		for _, rc := range core.AllReplayConfigs {
+			loaded, err := an.ReplayUnderConfig(data, rc, app.Meta.ReleaseDate)
+			if err != nil {
+				return nil, err
+			}
+			rec.ReplayLoaded[rc] = loaded
+		}
+	}
+	// Drop intercepted binaries after static analysis to keep full-scale
+	// runs memory-light; the measurement only needs the annotations.
+	for _, ev := range res.Events {
+		ev.Intercepted = nil
+	}
+	return rec, nil
+}

@@ -1,0 +1,447 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/corpus"
+	"github.com/dydroid/dydroid/internal/stats"
+)
+
+// Membership predicates. The measurement recovers candidate-set
+// membership from the pipeline's own static pre-filter, never from the
+// generator's ground truth.
+
+func dexCandidate(rec *AppRecord) bool {
+	return rec.Result.Status != core.StatusUnpackFailure && rec.Result.PreFilter.HasDexDCL
+}
+
+func nativeCandidate(rec *AppRecord) bool {
+	return rec.Result.Status != core.StatusUnpackFailure && rec.Result.PreFilter.HasNativeDCL
+}
+
+func dexIntercepted(rec *AppRecord) bool    { return len(rec.Result.DexEvents()) > 0 }
+func nativeIntercepted(rec *AppRecord) bool { return len(rec.Result.NativeEvents()) > 0 }
+
+// sc scales a paper count to the run's scale for the "paper" column.
+func (r *Results) sc(n int) int { return corpus.Scaled(n, r.Scale) }
+
+// TableI renders the download-tracker rules (Table I is the tracker's
+// specification; its behaviour is verified by the netsim/core tests and
+// exercised by every remote-provenance measurement).
+func (r *Results) TableI() string {
+	t := stats.NewTable("Table I — download tracker rules (source: URL, sink: File)",
+		"Object", "Flows")
+	t.Row("URL", "URL -> InputStream")
+	t.Row("InputStream", "InputStream -> InputStream; InputStream -> Buffer")
+	t.Row("Buffer", "Buffer -> InputStream; Buffer -> OutputStream")
+	t.Row("OutputStream", "OutputStream -> Buffer; OutputStream -> OutputStream; OutputStream -> File")
+	t.Row("File", "File -> File; File -> InputStream")
+	return t.String()
+}
+
+// TableII renders the dynamic analysis summary.
+func (r *Results) TableII() string {
+	p := corpus.Paper()
+	type side struct {
+		candidates, rewrite, noact, crash, intercepted int
+	}
+	var dex, nat side
+	for _, rec := range r.Records {
+		if dexCandidate(rec) {
+			dex.candidates++
+			switch rec.Result.Status {
+			case core.StatusRewriteFailure:
+				dex.rewrite++
+			case core.StatusNoActivity:
+				dex.noact++
+			case core.StatusCrash:
+				dex.crash++
+			}
+			if dexIntercepted(rec) {
+				dex.intercepted++
+			}
+		}
+		if nativeCandidate(rec) {
+			nat.candidates++
+			switch rec.Result.Status {
+			case core.StatusRewriteFailure:
+				nat.rewrite++
+			case core.StatusNoActivity:
+				nat.noact++
+			case core.StatusCrash:
+				nat.crash++
+			}
+			if nativeIntercepted(rec) {
+				nat.intercepted++
+			}
+		}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Table II — dynamic analysis summary (%d DEX / %d native candidate apps)",
+			dex.candidates, nat.candidates),
+		"", "DEX measured", "DEX paper", "Native measured", "Native paper")
+	row := func(name string, dm, dp, nm, np int) {
+		t.Row(name,
+			stats.CountPct(dm, dex.candidates), stats.CountPct(dp, r.sc(p.DexCandidates)),
+			stats.CountPct(nm, nat.candidates), stats.CountPct(np, r.sc(p.NativeCandidates)))
+	}
+	row("Failure", dex.rewrite+dex.noact+dex.crash,
+		r.sc(p.DexRewriteFailures)+r.sc(p.DexNoActivity)+r.sc(p.DexCrashes),
+		nat.rewrite+nat.noact+nat.crash,
+		r.sc(p.NativeRewriteFailures)+r.sc(p.NativeNoActivity)+r.sc(p.NativeCrashes))
+	row("  Rewriting failure", dex.rewrite, r.sc(p.DexRewriteFailures), nat.rewrite, r.sc(p.NativeRewriteFailures))
+	row("  No activity", dex.noact, r.sc(p.DexNoActivity), nat.noact, r.sc(p.NativeNoActivity))
+	row("  Crash", dex.crash, r.sc(p.DexCrashes), nat.crash, r.sc(p.NativeCrashes))
+	row("Exercised", dex.candidates-dex.rewrite-dex.noact-dex.crash,
+		r.sc(p.DexCandidates)-r.sc(p.DexRewriteFailures)-r.sc(p.DexNoActivity)-r.sc(p.DexCrashes),
+		nat.candidates-nat.rewrite-nat.noact-nat.crash,
+		r.sc(p.NativeCandidates)-r.sc(p.NativeRewriteFailures)-r.sc(p.NativeNoActivity)-r.sc(p.NativeCrashes))
+	row("Intercepted", dex.intercepted, r.sc(p.DexIntercepted), nat.intercepted, r.sc(p.NativeIntercepted))
+	return t.String()
+}
+
+// TableIII renders DCL vs application popularity.
+func (r *Results) TableIII() string {
+	var dexD, nodexD, natD, nonatD []int64
+	var dexR, nodexR, natR, nonatR []int64
+	var dexA, nodexA, natA, nonatA []float64
+	for _, rec := range r.Records {
+		m := rec.Meta
+		if dexCandidate(rec) {
+			dexD = append(dexD, m.Downloads)
+			dexR = append(dexR, int64(m.NumRatings))
+			dexA = append(dexA, m.AvgRating)
+		} else {
+			nodexD = append(nodexD, m.Downloads)
+			nodexR = append(nodexR, int64(m.NumRatings))
+			nodexA = append(nodexA, m.AvgRating)
+		}
+		if nativeCandidate(rec) {
+			natD = append(natD, m.Downloads)
+			natR = append(natR, int64(m.NumRatings))
+			natA = append(natA, m.AvgRating)
+		} else {
+			nonatD = append(nonatD, m.Downloads)
+			nonatR = append(nonatR, int64(m.NumRatings))
+			nonatA = append(nonatA, m.AvgRating)
+		}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Table III — DCL vs application popularity (%d apps; paper shape: DCL > complement)", len(r.Records)),
+		"", "#Downloads", "#Ratings", "Rating", "paper #Downloads", "paper Rating")
+	t.Row("DEX", int64(stats.MeanInt64(dexD)), int64(stats.MeanInt64(dexR)), stats.Mean(dexA), 60010, 3.91)
+	t.Row("Without DEX", int64(stats.MeanInt64(nodexD)), int64(stats.MeanInt64(nodexR)), stats.Mean(nodexA), 52848, 3.77)
+	t.Row("Native", int64(stats.MeanInt64(natD)), int64(stats.MeanInt64(natR)), stats.Mean(natA), 288995, 3.82)
+	t.Row("Without Native", int64(stats.MeanInt64(nonatD)), int64(stats.MeanInt64(nonatR)), stats.Mean(nonatA), 75127, 3.79)
+	return t.String()
+}
+
+// TableIV renders the responsible-entity split.
+func (r *Results) TableIV() string {
+	p := corpus.Paper()
+	type split struct{ third, own, both, total int }
+	var dex, nat split
+	count := func(s *split, own, third bool) {
+		s.total++
+		if third {
+			s.third++
+		}
+		if own {
+			s.own++
+		}
+		if own && third {
+			s.both++
+		}
+	}
+	for _, rec := range r.Records {
+		if dexIntercepted(rec) {
+			own, third := rec.Result.Entities(core.KindDex)
+			count(&dex, own, third)
+		}
+		if nativeIntercepted(rec) {
+			own, third := rec.Result.Entities(core.KindNative)
+			count(&nat, own, third)
+		}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Table IV — responsible entity of DCL (%d DEX / %d native intercepted apps)",
+			dex.total, nat.total),
+		"", "3rd-party", "Own", "3rd-party & Own", "paper 3rd-party", "paper Own", "paper both")
+	t.Row("DEX", stats.CountPct(dex.third, dex.total), stats.CountPct(dex.own, dex.total),
+		stats.CountPct(dex.both, dex.total),
+		r.sc(16755), r.sc(p.DexOwnOnly)+r.sc(p.DexBoth), r.sc(p.DexBoth))
+	t.Row("Native", stats.CountPct(nat.third, nat.total), stats.CountPct(nat.own, nat.total),
+		stats.CountPct(nat.both, nat.total),
+		r.sc(11834), r.sc(p.NativeOwnOnly)+r.sc(p.NativeBoth), r.sc(p.NativeBoth))
+	return t.String()
+}
+
+// TableV renders the remote-fetch (policy-violating) apps.
+func (r *Results) TableV() string {
+	var rows []*AppRecord
+	for _, rec := range r.Records {
+		if len(rec.Result.RemoteURLs()) > 0 {
+			rows = append(rows, rec)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Meta.Package < rows[j].Meta.Package })
+	t := stats.NewTable(
+		fmt.Sprintf("Table V — apps executing remotely fetched binaries: %d measured (paper: %d)",
+			len(rows), r.sc(corpus.Paper().RemoteApps)),
+		"Package", "Origin")
+	for _, rec := range rows {
+		t.Row(rec.Meta.Package, strings.Join(rec.Result.RemoteURLs(), " "))
+	}
+	return t.String()
+}
+
+// TableVI renders obfuscation adoption. Native usage is confirmed by the
+// dynamic output, as in the paper.
+func (r *Results) TableVI() string {
+	p := corpus.Paper()
+	total := len(r.Records)
+	var lex, refl, nat, packd, anti int
+	for _, rec := range r.Records {
+		o := rec.Result.Obfuscation
+		if o.Lexical {
+			lex++
+		}
+		if o.Reflection {
+			refl++
+		}
+		if nativeIntercepted(rec) {
+			nat++
+		}
+		if o.DEXEncryption {
+			packd++
+		}
+		if o.AntiDecompile {
+			anti++
+		}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Table VI — obfuscation techniques (%d apps)", total),
+		"Technique", "#Apps measured", "#Apps paper")
+	t.Row("Lexical", stats.CountPct(lex, total), stats.CountPct(r.sc(p.Lexical), r.sc(p.Total)))
+	t.Row("Reflection", stats.CountPct(refl, total), stats.CountPct(r.sc(p.Reflection), r.sc(p.Total)))
+	t.Row("Native", stats.CountPct(nat, total), stats.CountPct(r.sc(p.NativeIntercepted), r.sc(p.Total)))
+	t.Row("DEX encryption", stats.CountPct(packd, total), stats.CountPct(r.sc(p.Packed), r.sc(p.Total)))
+	t.Row("Anti-decompilation", stats.CountPct(anti, total), stats.CountPct(r.sc(p.AntiDecompile), r.sc(p.Total)))
+	return t.String()
+}
+
+// Figure3 renders DEX-encryption apps per category.
+func (r *Results) Figure3() string {
+	byCat := map[string]int{}
+	total := 0
+	for _, rec := range r.Records {
+		if rec.Result.Obfuscation.DEXEncryption {
+			byCat[rec.Meta.Category]++
+			total++
+		}
+	}
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if byCat[cats[i]] != byCat[cats[j]] {
+			return byCat[cats[i]] > byCat[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 3 — #apps with DEX encryption per category (%d apps; paper shape: Entertainment/Tools/Shopping dominant)", total),
+		"Category", "#Apps", "")
+	for _, c := range cats {
+		t.Row(c, byCat[c], strings.Repeat("#", byCat[c]))
+	}
+	return t.String()
+}
+
+// TableVII renders the malware families found in DCL.
+func (r *Results) TableVII() string {
+	type fam struct {
+		apps   int
+		files  int
+		sample string
+		dls    int64
+	}
+	fams := map[string]*fam{}
+	for _, rec := range r.Records {
+		if len(rec.Result.Malware) == 0 {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, hit := range rec.Result.Malware {
+			f := fams[hit.Family]
+			if f == nil {
+				f = &fam{}
+				fams[hit.Family] = f
+			}
+			if !seen[hit.Family] {
+				seen[hit.Family] = true
+				f.apps++
+				if rec.Meta.Downloads > f.dls {
+					f.dls = rec.Meta.Downloads
+					f.sample = rec.Meta.Package
+				}
+			}
+			f.files++
+		}
+	}
+	names := make([]string, 0, len(fams))
+	totalApps, totalFiles := 0, 0
+	for n, f := range fams {
+		names = append(names, n)
+		totalApps += f.apps
+		totalFiles += f.files
+	}
+	sort.Strings(names)
+	p := corpus.Paper()
+	t := stats.NewTable(
+		fmt.Sprintf("Table VII — malware detected in DCL: %d apps / %d files measured (paper: %d apps / %d files)",
+			totalApps, totalFiles,
+			r.sc(p.SwissApps)+r.sc(p.AdwareApps)+r.sc(p.ChathookApps), r.sc(p.MalwareFiles)),
+		"Family", "#Apps", "#Files", "Sample app (#Downloads)")
+	for _, n := range names {
+		f := fams[n]
+		t.Row(n, f.apps, f.files, fmt.Sprintf("%s (%d)", f.sample, f.dls))
+	}
+	return t.String()
+}
+
+// TableVIII renders malicious loading under the four runtime
+// configurations.
+func (r *Results) TableVIII() string {
+	totalFiles := 0
+	loaded := map[core.ReplayConfig]int{}
+	for _, rec := range r.Records {
+		if rec.MalwarePaths == nil {
+			continue
+		}
+		totalFiles += len(rec.MalwarePaths)
+		for _, cfg := range core.AllReplayConfigs {
+			for path := range rec.MalwarePaths {
+				if rec.ReplayLoaded[cfg][path] {
+					loaded[cfg]++
+				}
+			}
+		}
+	}
+	p := corpus.Paper()
+	paperTotal := r.sc(p.MalwareFiles)
+	t := stats.NewTable(
+		fmt.Sprintf("Table VIII — malicious code loaded under runtime configurations (%d files; paper: %d)",
+			totalFiles, paperTotal),
+		"Configuration", "#Files intercepted", "paper")
+	t.Row("System time", stats.CountPct(loaded[core.ConfigTimeBeforeRelease], totalFiles),
+		stats.CountPct(paperTotal-r.sc(p.GateTime), paperTotal))
+	t.Row("Airplane mode/WiFi ON", stats.CountPct(loaded[core.ConfigAirplaneWiFiOn], totalFiles),
+		stats.CountPct(paperTotal-r.sc(p.GateAirplane), paperTotal))
+	t.Row("Airplane mode/WiFi OFF", stats.CountPct(loaded[core.ConfigAirplaneWiFiOff], totalFiles),
+		stats.CountPct(paperTotal-r.sc(p.GateAirplane)-r.sc(p.GateConn), paperTotal))
+	t.Row("Location OFF", stats.CountPct(loaded[core.ConfigLocationOff], totalFiles),
+		stats.CountPct(paperTotal-r.sc(p.GateLocation), paperTotal))
+	return t.String()
+}
+
+// TableIX renders the vulnerable applications.
+func (r *Results) TableIX() string {
+	type key struct {
+		code core.Kind
+		kind core.VulnKind
+	}
+	groups := map[key][]*AppRecord{}
+	for _, rec := range r.Records {
+		seen := map[key]bool{}
+		for _, v := range rec.Result.Vulns {
+			k := key{v.Code, v.Kind}
+			if !seen[k] {
+				seen[k] = true
+				groups[k] = append(groups[k], rec)
+			}
+		}
+	}
+	p := corpus.Paper()
+	t := stats.NewTable("Table IX — vulnerable applications detected",
+		"", "Category", "#Apps", "paper", "Packages (#Downloads)")
+	row := func(label string, k key, paper int) {
+		recs := groups[k]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Meta.Downloads > recs[j].Meta.Downloads })
+		var pkgs []string
+		for _, rec := range recs {
+			pkgs = append(pkgs, fmt.Sprintf("%s (%d)", rec.Meta.Package, rec.Meta.Downloads))
+		}
+		t.Row(label, string(k.kind), len(recs), paper, strings.Join(pkgs, ", "))
+	}
+	row("DEX", key{core.KindDex, core.VulnOtherAppInternal}, 0)
+	row("DEX", key{core.KindDex, core.VulnExternalStorage}, r.sc(p.VulnDexExternal))
+	row("Native", key{core.KindNative, core.VulnOtherAppInternal}, r.sc(p.VulnNativeIntern))
+	row("Native", key{core.KindNative, core.VulnExternalStorage}, 0)
+	return t.String()
+}
+
+// TableX renders privacy tracking in loaded DEX code.
+func (r *Results) TableX() string {
+	total := 0 // apps with intercepted DEX
+	apps := map[android.DataType]int{}
+	exclusive := map[android.DataType]int{}
+	for _, rec := range r.Records {
+		if !dexIntercepted(rec) {
+			continue
+		}
+		total++
+		if rec.Result.Privacy == nil {
+			continue
+		}
+		for _, dt := range rec.Result.Privacy.LeakedTypes() {
+			apps[dt]++
+			if rec.Result.PrivacyByEntity[string(dt)] {
+				exclusive[dt]++
+			}
+		}
+	}
+	p := corpus.Paper()
+	paperRow := map[string]corpus.TableXRow{}
+	for _, row := range corpus.TableX {
+		paperRow[row.Type] = row
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Table X — privacy tracking in dynamically loaded code (%d apps with intercepted DEX)", total),
+		"Data type", "Categ", "#Apps", "Exclusively 3rd-party", "paper #Apps", "paper excl")
+	for _, dt := range android.AllDataTypes {
+		var paperApps, paperExcl int
+		if dt == android.DTSettings {
+			paperApps = r.sc(p.AdApps) + r.sc(p.SettingsReaders)
+			paperExcl = paperApps - r.sc(p.OwnSettings)
+		} else if row, ok := paperRow[string(dt)]; ok {
+			paperApps = r.sc(row.Apps)
+			paperExcl = r.sc(row.Exclusive)
+		}
+		t.Row(string(dt), string(android.CategoryOf[dt]),
+			apps[dt], stats.CountPct(exclusive[dt], max(apps[dt], 1)),
+			paperApps, paperExcl)
+	}
+	return t.String()
+}
+
+// Report renders every table and figure.
+func (r *Results) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DyDroid measurement: %d apps at scale %.4f (%.1fs)\n\n",
+		len(r.Records), r.Scale, r.Elapsed.Seconds())
+	for _, section := range []string{
+		r.TableI(), r.TableII(), r.TableIII(), r.TableIV(), r.TableV(),
+		r.TableVI(), r.Figure3(), r.TableVII(), r.TableVIII(), r.TableIX(),
+		r.TableX(),
+	} {
+		b.WriteString(section)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+// Package monkey implements the UI/Application exerciser that drives apps
+// during dynamic analysis — the analogue of Android's Monkey fuzzer the
+// paper runs on top of its instrumented device. A deterministic seeded
+// event stream launches the app and fires random UI callbacks; the paper's
+// observation (and MAdScope's) that ad-library DCL triggers at launch
+// means even modest budgets reach the loading code.
+package monkey
+
+import (
+	"errors"
+	"math/rand"
+
+	"github.com/dydroid/dydroid/internal/vm"
+)
+
+// Outcome classifies one exercise run.
+type Outcome string
+
+// Exercise outcomes; these map onto the failure rows of Table II.
+const (
+	// OutcomeExercised means the app launched and the event budget ran.
+	OutcomeExercised Outcome = "exercised"
+	// OutcomeNoActivity means the fuzzer had no activity to drive.
+	OutcomeNoActivity Outcome = "no-activity"
+	// OutcomeCrash means the app crashed during launch or a callback.
+	OutcomeCrash Outcome = "crash"
+)
+
+// Result reports one run.
+type Result struct {
+	Outcome     Outcome
+	EventsFired int
+	// Err holds the crash cause when Outcome is OutcomeCrash.
+	Err error
+}
+
+// Exercise launches the app on the VM and fires up to budget random UI
+// callbacks using the seeded generator. A crash during a callback ends the
+// run (the process died); the events fired up to that point are reported.
+func Exercise(m *vm.VM, budget int, seed int64) Result {
+	activity, err := m.LaunchApp()
+	if err != nil {
+		if errors.Is(err, vm.ErrNoActivity) {
+			return Result{Outcome: OutcomeNoActivity, Err: err}
+		}
+		return Result{Outcome: OutcomeCrash, Err: err}
+	}
+	callbacks := m.Callbacks(activity)
+	if len(callbacks) == 0 {
+		return Result{Outcome: OutcomeExercised}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fired := 0
+	for i := 0; i < budget; i++ {
+		cb := callbacks[rng.Intn(len(callbacks))]
+		if err := m.FireCallback(activity, cb); err != nil {
+			return Result{Outcome: OutcomeCrash, EventsFired: fired, Err: err}
+		}
+		fired++
+	}
+	return Result{Outcome: OutcomeExercised, EventsFired: fired}
+}

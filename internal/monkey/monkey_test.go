@@ -1,0 +1,130 @@
+package monkey
+
+import (
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/vm"
+)
+
+func install(t *testing.T, dev *android.Device, pkg string, build func(*dex.Builder)) *android.InstalledApp {
+	t.Helper()
+	b := dex.NewBuilder()
+	build(b)
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := apk.Manifest{Package: pkg, MinSDK: 16}
+	if b.File().FindClass(pkg+".Main") != nil {
+		m.Application.Activities = []apk.Component{{Name: pkg + ".Main", Main: true}}
+	}
+	app, err := dev.Packages.Install(&apk.APK{Manifest: m, Dex: dexBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestExerciseFiresCallbacksDeterministically(t *testing.T) {
+	pkg := "com.monkey.app"
+	build := func(b *dex.Builder) {
+		act := b.Class(pkg+".Main", "android.app.Activity")
+		act.Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+		counter := dex.FieldRef{Class: pkg + ".Main", Name: "clicks", Type: "I"}
+		cb := act.Method("onClickPlay", dex.ACCPublic, 4, "V")
+		cb.SGet(1, counter).
+			Const(2, 1).
+			Add(1, 1, 2).
+			SPut(1, counter).
+			ReturnVoid().Done()
+		act.Method("onClickStop", dex.ACCPublic, 2, "V").ReturnVoid().Done()
+	}
+	results := make([]Result, 2)
+	for i := range results {
+		dev := android.NewDevice()
+		app := install(t, dev, pkg, build)
+		m, err := vm.New(dev, nil, app, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = Exercise(m, 20, 77)
+	}
+	for _, r := range results {
+		if r.Outcome != OutcomeExercised || r.EventsFired != 20 {
+			t.Fatalf("result = %+v", r)
+		}
+	}
+}
+
+func TestExerciseNoActivity(t *testing.T) {
+	dev := android.NewDevice()
+	app := install(t, dev, "com.monkey.svc", func(b *dex.Builder) {
+		b.Class("com.monkey.svc.Worker", "android.app.Service").
+			Method("onStart", dex.ACCPublic, 2, "V").ReturnVoid().Done()
+	})
+	m, err := vm.New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Exercise(m, 10, 1)
+	if r.Outcome != OutcomeNoActivity {
+		t.Fatalf("outcome = %s", r.Outcome)
+	}
+}
+
+func TestExerciseCrashInCallback(t *testing.T) {
+	pkg := "com.monkey.crash"
+	dev := android.NewDevice()
+	app := install(t, dev, pkg, func(b *dex.Builder) {
+		act := b.Class(pkg+".Main", "android.app.Activity")
+		act.Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+		cb := act.Method("onClickBoom", dex.ACCPublic, 2, "V")
+		cb.ConstString(1, "RuntimeException").Throw(1).Done()
+	})
+	m, err := vm.New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Exercise(m, 10, 1)
+	if r.Outcome != OutcomeCrash || r.Err == nil {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestExerciseCrashAtLaunch(t *testing.T) {
+	pkg := "com.monkey.launchcrash"
+	dev := android.NewDevice()
+	app := install(t, dev, pkg, func(b *dex.Builder) {
+		act := b.Class(pkg+".Main", "android.app.Activity")
+		m := act.Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;")
+		m.ConstString(1, "boom").Throw(1).Done()
+	})
+	m, err := vm.New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Exercise(m, 10, 1)
+	if r.Outcome != OutcomeCrash || r.EventsFired != 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestExerciseNoCallbacks(t *testing.T) {
+	pkg := "com.monkey.idle"
+	dev := android.NewDevice()
+	app := install(t, dev, pkg, func(b *dex.Builder) {
+		b.Class(pkg+".Main", "android.app.Activity").
+			Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+	})
+	m, err := vm.New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Exercise(m, 10, 1)
+	if r.Outcome != OutcomeExercised || r.EventsFired != 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}

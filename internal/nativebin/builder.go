@@ -1,0 +1,166 @@
+package nativebin
+
+// Builder constructs SELF libraries programmatically; the corpus generator
+// and the packer use it to synthesize decryptor stubs, JNI glue and native
+// malware payloads.
+type Builder struct {
+	lib    Library
+	labels map[string]int
+	fixups map[int]string
+}
+
+// NewBuilder starts a library with the given soname and architecture.
+func NewBuilder(soname, arch string) *Builder {
+	return &Builder{
+		lib:    Library{Soname: soname, Arch: arch},
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+// Data appends bytes to the data segment and returns their absolute
+// address (DataBase + offset).
+func (b *Builder) Data(p []byte) int64 {
+	addr := DataBase + int64(len(b.lib.Data))
+	b.lib.Data = append(b.lib.Data, p...)
+	return addr
+}
+
+// CString appends a NUL-terminated string to the data segment and returns
+// its address.
+func (b *Builder) CString(s string) int64 {
+	return b.Data(append([]byte(s), 0))
+}
+
+// Symbol exports the next instruction under the given name.
+func (b *Builder) Symbol(name string) *Builder {
+	b.lib.Symbols = append(b.lib.Symbols, Symbol{Name: name, Entry: len(b.lib.Code)})
+	return b
+}
+
+// Label binds a branch label to the next instruction.
+func (b *Builder) Label(name string) *Builder {
+	b.labels[name] = len(b.lib.Code)
+	return b
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.lib.Code = append(b.lib.Code, in)
+	return b
+}
+
+func (b *Builder) branch(op Op, label string) *Builder {
+	b.fixups[len(b.lib.Code)] = label
+	return b.emit(Instr{Op: op})
+}
+
+// Build resolves labels and returns the finished library. Unresolved
+// labels panic: they are generator bugs, never runtime input.
+func (b *Builder) Build() *Library {
+	for idx, label := range b.fixups {
+		t, ok := b.labels[label]
+		if !ok {
+			panic("nativebin: unresolved label " + label + " in " + b.lib.Soname)
+		}
+		b.lib.Code[idx].Target = t
+	}
+	b.fixups = make(map[int]string)
+	return &b.lib
+}
+
+// Nop appends a nop.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: NopN}) }
+
+// MovI sets rd to an immediate.
+func (b *Builder) MovI(rd int, imm int64) *Builder {
+	return b.emit(Instr{Op: MovI, Rd: rd, Imm: imm})
+}
+
+// MovR copies rs into rd.
+func (b *Builder) MovR(rd, rs int) *Builder {
+	return b.emit(Instr{Op: MovR, Rd: rd, Rs: rs})
+}
+
+// Ldrb loads a byte from [rs+off] into rd.
+func (b *Builder) Ldrb(rd, rs int, off int64) *Builder {
+	return b.emit(Instr{Op: Ldrb, Rd: rd, Rs: rs, Imm: off})
+}
+
+// Strb stores the low byte of rd to [rs+off].
+func (b *Builder) Strb(rd, rs int, off int64) *Builder {
+	return b.emit(Instr{Op: Strb, Rd: rd, Rs: rs, Imm: off})
+}
+
+// Add emits rd = rs + rt.
+func (b *Builder) Add(rd, rs, rt int) *Builder {
+	return b.emit(Instr{Op: AddR, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Sub emits rd = rs - rt.
+func (b *Builder) Sub(rd, rs, rt int) *Builder {
+	return b.emit(Instr{Op: SubR, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Xor emits rd = rs ^ rt.
+func (b *Builder) Xor(rd, rs, rt int) *Builder {
+	return b.emit(Instr{Op: XorR, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// And emits rd = rs & rt.
+func (b *Builder) And(rd, rs, rt int) *Builder {
+	return b.emit(Instr{Op: AndR, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Orr emits rd = rs | rt.
+func (b *Builder) Orr(rd, rs, rt int) *Builder {
+	return b.emit(Instr{Op: OrrR, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// AddI emits rd = rs + imm.
+func (b *Builder) AddI(rd, rs int, imm int64) *Builder {
+	return b.emit(Instr{Op: AddI, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Cmp compares rs and rt, setting flags.
+func (b *Builder) Cmp(rs, rt int) *Builder {
+	return b.emit(Instr{Op: Cmp, Rs: rs, Rt: rt})
+}
+
+// CmpI compares rs with an immediate, setting flags.
+func (b *Builder) CmpI(rs int, imm int64) *Builder {
+	return b.emit(Instr{Op: CmpI, Rs: rs, Imm: imm})
+}
+
+// B branches unconditionally to the label.
+func (b *Builder) B(label string) *Builder { return b.branch(B, label) }
+
+// Beq branches to the label when the flags compare equal.
+func (b *Builder) Beq(label string) *Builder { return b.branch(Beq, label) }
+
+// Bne branches to the label when the flags compare not-equal.
+func (b *Builder) Bne(label string) *Builder { return b.branch(Bne, label) }
+
+// Blt branches to the label when the flags compare less-than.
+func (b *Builder) Blt(label string) *Builder { return b.branch(Blt, label) }
+
+// Bge branches to the label when the flags compare greater-or-equal.
+func (b *Builder) Bge(label string) *Builder { return b.branch(Bge, label) }
+
+// Bl calls the named function symbol.
+func (b *Builder) Bl(sym string) *Builder {
+	return b.emit(Instr{Op: Bl, Sym: sym})
+}
+
+// Svc issues the system call with the given number.
+func (b *Builder) Svc(num int64) *Builder {
+	return b.emit(Instr{Op: Svc, Imm: num})
+}
+
+// Ret returns from the current function.
+func (b *Builder) Ret() *Builder { return b.emit(Instr{Op: Ret}) }
+
+// Push saves rd on the stack.
+func (b *Builder) Push(rd int) *Builder { return b.emit(Instr{Op: Push, Rd: rd}) }
+
+// Pop restores rd from the stack.
+func (b *Builder) Pop(rd int) *Builder { return b.emit(Instr{Op: Pop, Rd: rd}) }

@@ -1,0 +1,211 @@
+package nativebin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// MagicSELF is the 4-byte magic of a SELF native library file.
+const MagicSELF = "SELF"
+
+// formatVersion is the single supported version.
+const formatVersion = 1
+
+// maxSaneCount bounds decoded counts so corrupted input fails fast.
+const maxSaneCount = 1 << 24
+
+// ErrNotSELF is wrapped by Decode when the magic is wrong.
+var ErrNotSELF = fmt.Errorf("nativebin: not a SELF library")
+
+// Encode serializes the library deterministically with a trailing CRC32.
+func Encode(l *Library) ([]byte, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("nativebin: encode: %w", err)
+	}
+	var body bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	uv := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		body.Write(tmp[:n])
+	}
+	sv := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		body.Write(tmp[:n])
+	}
+	str := func(s string) {
+		uv(uint64(len(s)))
+		body.WriteString(s)
+	}
+	str(l.Soname)
+	str(l.Arch)
+	uv(uint64(len(l.Data)))
+	body.Write(l.Data)
+	uv(uint64(len(l.Symbols)))
+	for _, s := range l.Symbols {
+		str(s.Name)
+		uv(uint64(s.Entry))
+	}
+	uv(uint64(len(l.Code)))
+	for _, in := range l.Code {
+		body.WriteByte(byte(in.Op))
+		uv(uint64(in.Rd))
+		uv(uint64(in.Rs))
+		uv(uint64(in.Rt))
+		sv(in.Imm)
+		str(in.Sym)
+		uv(uint64(in.Target))
+	}
+
+	var out bytes.Buffer
+	out.WriteString(MagicSELF)
+	out.WriteByte(formatVersion)
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(body.Len()))
+	out.Write(lenBuf[:])
+	out.Write(body.Bytes())
+	binary.LittleEndian.PutUint32(lenBuf[:], crc32.ChecksumIEEE(body.Bytes()))
+	out.Write(lenBuf[:])
+	return out.Bytes(), nil
+}
+
+// IsSELF reports whether the bytes begin with the SELF magic.
+func IsSELF(data []byte) bool {
+	return len(data) >= 4 && string(data[:4]) == MagicSELF
+}
+
+// Decode parses a SELF library produced by Encode.
+func Decode(data []byte) (*Library, error) {
+	if len(data) < 13 {
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrNotSELF, len(data))
+	}
+	if string(data[:4]) != MagicSELF {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrNotSELF, data[:4])
+	}
+	if data[4] != formatVersion {
+		return nil, fmt.Errorf("nativebin: unsupported version %d", data[4])
+	}
+	bodyLen := binary.LittleEndian.Uint32(data[5:9])
+	if int(bodyLen) != len(data)-13 {
+		return nil, fmt.Errorf("nativebin: body length %d does not match file size %d", bodyLen, len(data))
+	}
+	body := data[9 : 9+bodyLen]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(data[9+bodyLen:]); got != want {
+		return nil, fmt.Errorf("nativebin: checksum mismatch: got %08x want %08x", got, want)
+	}
+
+	r := &reader{data: body}
+	l := &Library{
+		Soname: r.str(),
+		Arch:   r.str(),
+	}
+	nData := r.count()
+	if r.err == nil {
+		if r.pos+nData > len(r.data) {
+			r.fail(fmt.Errorf("nativebin: truncated data segment"))
+		} else {
+			l.Data = append([]byte(nil), r.data[r.pos:r.pos+nData]...)
+			r.pos += nData
+		}
+	}
+	nSyms := r.count()
+	for i := 0; i < nSyms && r.err == nil; i++ {
+		l.Symbols = append(l.Symbols, Symbol{Name: r.str(), Entry: r.id()})
+	}
+	nCode := r.count()
+	l.Code = make([]Instr, 0, min(nCode, 4096))
+	for i := 0; i < nCode && r.err == nil; i++ {
+		in := Instr{Op: Op(r.byte())}
+		in.Rd = r.id()
+		in.Rs = r.id()
+		in.Rt = r.id()
+		in.Imm = r.varint()
+		in.Sym = r.str()
+		in.Target = r.id()
+		l.Code = append(l.Code, in)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("nativebin: decode: %w", err)
+	}
+	return l, nil
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.fail(fmt.Errorf("nativebin: truncated at offset %d", r.pos))
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("nativebin: bad uvarint at offset %d", r.pos))
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("nativebin: bad varint at offset %d", r.pos))
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) id() int {
+	v := r.uvarint()
+	if v > maxSaneCount {
+		r.fail(fmt.Errorf("nativebin: implausible value %d", v))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) count() int { return r.id() }
+
+func (r *reader) str() string {
+	n := r.count()
+	if r.err != nil {
+		return ""
+	}
+	if r.pos+n > len(r.data) {
+		r.fail(fmt.Errorf("nativebin: truncated string at offset %d", r.pos))
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}

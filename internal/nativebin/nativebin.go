@@ -1,0 +1,228 @@
+// Package nativebin implements SELF, a simulated ELF-style native library
+// format with an ARM-flavoured instruction set. It stands in for the
+// Android .so libraries that DyDroid intercepts through the JNI
+// load()/loadLibrary() hooks and feeds to the DroidNative malware
+// analysis.
+//
+// A SELF library carries named entry points (symbols), a code section of
+// register-machine instructions and a data section. The package provides a
+// binary encoding, a disassembler, a builder, and Machine — an interpreter
+// with a pluggable syscall layer through which native code touches the
+// simulated Android system (files, network, ptrace, time). Running real
+// instruction streams matters twice over: the MAIL translator disassembles
+// them for ACFG-based malware matching, and packers/malware actually
+// execute them inside the VM.
+package nativebin
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies a native instruction.
+type Op uint8
+
+// Native instruction opcodes.
+const (
+	// NopN does nothing.
+	NopN Op = iota
+	// MovI loads an immediate: Rd = Imm.
+	MovI
+	// MovR copies a register: Rd = Rs.
+	MovR
+	// Ldrb loads a byte: Rd = mem[Rs+Imm].
+	Ldrb
+	// Strb stores a byte: mem[Rs+Imm] = Rd.
+	Strb
+	// AddR, SubR, XorR, AndR, OrrR compute Rd = Rs op Rt.
+	AddR
+	SubR
+	XorR
+	AndR
+	OrrR
+	// AddI computes Rd = Rs + Imm.
+	AddI
+	// Cmp sets the machine flags from Rs - Rt.
+	Cmp
+	// CmpI sets the machine flags from Rs - Imm.
+	CmpI
+	// B branches unconditionally to Target.
+	B
+	// Beq, Bne, Blt, Bge branch on the flags to Target.
+	Beq
+	Bne
+	Blt
+	Bge
+	// Bl calls the function whose symbol is Sym (link register semantics
+	// are handled by the machine's call stack).
+	Bl
+	// Svc traps into the system with syscall number Imm; arguments are
+	// R0-R3 and the result lands in R0.
+	Svc
+	// Ret returns from the current function (or halts at top level).
+	Ret
+	// Push saves Rd on the machine stack.
+	Push
+	// Pop restores Rd from the machine stack.
+	Pop
+
+	opMax // sentinel; must remain last
+)
+
+var opNames = [...]string{
+	NopN: "nop", MovI: "mov", MovR: "movr", Ldrb: "ldrb", Strb: "strb",
+	AddR: "add", SubR: "sub", XorR: "eor", AndR: "and", OrrR: "orr",
+	AddI: "addi", Cmp: "cmp", CmpI: "cmpi",
+	B: "b", Beq: "beq", Bne: "bne", Blt: "blt", Bge: "bge",
+	Bl: "bl", Svc: "svc", Ret: "ret", Push: "push", Pop: "pop",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Valid reports whether the opcode is defined.
+func (o Op) Valid() bool { return o < opMax }
+
+// IsBranch reports whether the opcode carries a code target.
+func (o Op) IsBranch() bool {
+	switch o {
+	case B, Beq, Bne, Blt, Bge:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether the branch is conditional.
+func (o Op) IsConditional() bool { return o.IsBranch() && o != B }
+
+// Instr is a single native instruction.
+type Instr struct {
+	Op     Op
+	Rd     int    // destination register
+	Rs     int    // first source register
+	Rt     int    // second source register
+	Imm    int64  // immediate operand
+	Sym    string // call target symbol (Bl)
+	Target int    // branch target (instruction index)
+}
+
+// NumRegs is the register file size (R0-R15).
+const NumRegs = 16
+
+// Symbol names an entry point into the code section.
+type Symbol struct {
+	Name  string
+	Entry int // instruction index of the first instruction
+}
+
+// Library is one SELF native library.
+type Library struct {
+	// Soname is the library's file name, e.g. "libshell.so".
+	Soname string
+	// Arch labels the nominal target architecture ("arm" or "x86"); the
+	// DroidNative front end keys its disassembler choice on this, exactly
+	// as the real system selects per-platform lifters.
+	Arch string
+	// Symbols are the exported entry points, including JNI functions
+	// (Java_pkg_Class_method) and JNI_OnLoad when present.
+	Symbols []Symbol
+	// Code is the full instruction stream.
+	Code []Instr
+	// Data is the initial data segment, mapped at DataBase.
+	Data []byte
+}
+
+// FindSymbol returns the entry index of the named symbol and whether it
+// exists.
+func (l *Library) FindSymbol(name string) (int, bool) {
+	for _, s := range l.Symbols {
+		if s.Name == name {
+			return s.Entry, true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks structural invariants: in-range branch targets and
+// symbol entries, valid register indices.
+func (l *Library) Validate() error {
+	for _, s := range l.Symbols {
+		if s.Entry < 0 || s.Entry > len(l.Code) {
+			return fmt.Errorf("nativebin: %s: symbol %q entry %d out of range [0,%d]",
+				l.Soname, s.Name, s.Entry, len(l.Code))
+		}
+	}
+	for pc, in := range l.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("nativebin: %s: pc %d: invalid opcode %d", l.Soname, pc, in.Op)
+		}
+		if in.Op.IsBranch() && (in.Target < 0 || in.Target >= len(l.Code)) {
+			return fmt.Errorf("nativebin: %s: pc %d: branch target %d out of range [0,%d)",
+				l.Soname, pc, in.Target, len(l.Code))
+		}
+		for _, r := range []int{in.Rd, in.Rs, in.Rt} {
+			if r < 0 || r >= NumRegs {
+				return fmt.Errorf("nativebin: %s: pc %d: register r%d out of range", l.Soname, pc, r)
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the library as readable assembly listing.
+func Disassemble(l *Library) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".library %s arch=%s data=%d bytes\n", l.Soname, l.Arch, len(l.Data))
+	entries := make(map[int][]string)
+	for _, s := range l.Symbols {
+		entries[s.Entry] = append(entries[s.Entry], s.Name)
+	}
+	for pc, in := range l.Code {
+		for _, name := range entries[pc] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "  %4d: %s\n", pc, formatInstr(in))
+	}
+	return b.String()
+}
+
+func formatInstr(in Instr) string {
+	r := func(n int) string { return fmt.Sprintf("r%d", n) }
+	switch in.Op {
+	case NopN, Ret:
+		return in.Op.String()
+	case MovI:
+		return fmt.Sprintf("mov %s, #%d", r(in.Rd), in.Imm)
+	case MovR:
+		return fmt.Sprintf("movr %s, %s", r(in.Rd), r(in.Rs))
+	case Ldrb:
+		return fmt.Sprintf("ldrb %s, [%s, #%d]", r(in.Rd), r(in.Rs), in.Imm)
+	case Strb:
+		return fmt.Sprintf("strb %s, [%s, #%d]", r(in.Rd), r(in.Rs), in.Imm)
+	case AddR, SubR, XorR, AndR, OrrR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Rs), r(in.Rt))
+	case AddI:
+		return fmt.Sprintf("addi %s, %s, #%d", r(in.Rd), r(in.Rs), in.Imm)
+	case Cmp:
+		return fmt.Sprintf("cmp %s, %s", r(in.Rs), r(in.Rt))
+	case CmpI:
+		return fmt.Sprintf("cmpi %s, #%d", r(in.Rs), in.Imm)
+	case B, Beq, Bne, Blt, Bge:
+		return fmt.Sprintf("%s %d", in.Op, in.Target)
+	case Bl:
+		return fmt.Sprintf("bl %s", in.Sym)
+	case Svc:
+		return fmt.Sprintf("svc #%d", in.Imm)
+	case Push:
+		return fmt.Sprintf("push %s", r(in.Rd))
+	case Pop:
+		return fmt.Sprintf("pop %s", r(in.Rd))
+	default:
+		return "op?"
+	}
+}

@@ -1,0 +1,353 @@
+// Package netsim simulates the java.net/java.io runtime object world that
+// DyDroid's download tracker instruments: URL, URLConnection, InputStream,
+// Buffer, OutputStream and File objects — each identified by type and hash
+// code, exactly as the paper represents them — plus an in-process registry
+// of remote servers serving payloads over simulated HTTP/HTTPS/FTP.
+//
+// Every data movement between objects emits a flow event to a Recorder;
+// the events correspond one-to-one to the rules of Table I. The tracker in
+// internal/core subscribes as the Recorder, builds the flow graph, and
+// searches for URL-to-File paths to classify provenance.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ObjectID identifies a runtime object by type name and hash code (paper
+// §III-B: "Each object is represented by type and hash code").
+type ObjectID struct {
+	Type string
+	Hash int
+}
+
+// String renders "Type@hash".
+func (id ObjectID) String() string { return fmt.Sprintf("%s@%x", id.Type, id.Hash) }
+
+// Runtime object type names used in flow events.
+const (
+	TypeURL          = "java.net.URL"
+	TypeInputStream  = "java.io.InputStream"
+	TypeBuffer       = "byte[]"
+	TypeOutputStream = "java.io.OutputStream"
+	TypeFile         = "java.io.File"
+)
+
+// Recorder receives instrumentation events. Implementations must be safe
+// for concurrent use. The zero-value NopRecorder ignores everything.
+type Recorder interface {
+	// RecordURLInit fires when a URL object is constructed with its spec.
+	RecordURLInit(obj ObjectID, url string)
+	// RecordFlow fires for every object-to-object data movement.
+	RecordFlow(from, to ObjectID)
+	// RecordFileBind fires when a File-typed object is associated with a
+	// concrete storage path.
+	RecordFileBind(obj ObjectID, path string)
+}
+
+// NopRecorder discards all events.
+type NopRecorder struct{}
+
+// RecordURLInit implements Recorder.
+func (NopRecorder) RecordURLInit(ObjectID, string) {}
+
+// RecordFlow implements Recorder.
+func (NopRecorder) RecordFlow(ObjectID, ObjectID) {}
+
+// RecordFileBind implements Recorder.
+func (NopRecorder) RecordFileBind(ObjectID, string) {}
+
+// Factory allocates runtime objects with unique hash codes. Safe for
+// concurrent use.
+type Factory struct {
+	mu   sync.Mutex
+	next int
+	rec  Recorder
+}
+
+// NewFactory creates a factory reporting to rec (nil means no recording).
+func NewFactory(rec Recorder) *Factory {
+	if rec == nil {
+		rec = NopRecorder{}
+	}
+	return &Factory{next: 0x1000, rec: rec}
+}
+
+func (f *Factory) id(typ string) ObjectID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.next++
+	return ObjectID{Type: typ, Hash: f.next}
+}
+
+// URLValue is a constructed java.net.URL.
+type URLValue struct {
+	ID   ObjectID
+	Spec string
+	fac  *Factory
+}
+
+// NewURL constructs a URL object, emitting the URL-init event.
+func (f *Factory) NewURL(spec string) *URLValue {
+	u := &URLValue{ID: f.id(TypeURL), Spec: spec, fac: f}
+	f.rec.RecordURLInit(u.ID, spec)
+	return u
+}
+
+// OpenWith exposes the given payload bytes as this URL's response stream,
+// emitting the URL -> InputStream flow. Network.OpenStream uses it after
+// a fetch; tests and offline replays can call it directly.
+func (u *URLValue) OpenWith(data []byte) *InputStream {
+	s := u.fac.NewInputStream(data)
+	u.fac.rec.RecordFlow(u.ID, s.ID)
+	return s
+}
+
+// InputStream is a readable byte source.
+type InputStream struct {
+	ID   ObjectID
+	data []byte
+	pos  int
+	fac  *Factory
+}
+
+// NewInputStream wraps raw bytes (used by file opens and network fetches).
+func (f *Factory) NewInputStream(data []byte) *InputStream {
+	return &InputStream{ID: f.id(TypeInputStream), data: data, fac: f}
+}
+
+// Wrap creates a new stream over the remainder of s (the
+// InputStream -> InputStream rule, e.g. BufferedInputStream).
+func (s *InputStream) Wrap() *InputStream {
+	w := s.fac.NewInputStream(s.data[s.pos:])
+	s.fac.rec.RecordFlow(s.ID, w.ID)
+	return w
+}
+
+// Read copies up to n bytes into a fresh Buffer (InputStream -> Buffer).
+// It returns nil at end of stream.
+func (s *InputStream) Read(n int) *Buffer {
+	if s.pos >= len(s.data) {
+		return nil
+	}
+	end := s.pos + n
+	if end > len(s.data) {
+		end = len(s.data)
+	}
+	b := s.fac.NewBuffer(append([]byte(nil), s.data[s.pos:end]...))
+	s.pos = end
+	s.fac.rec.RecordFlow(s.ID, b.ID)
+	return b
+}
+
+// ReadAll drains the stream into one Buffer.
+func (s *InputStream) ReadAll() *Buffer {
+	b := s.Read(len(s.data) - s.pos + 1)
+	if b == nil {
+		b = s.fac.NewBuffer(nil)
+		s.fac.rec.RecordFlow(s.ID, b.ID)
+	}
+	return b
+}
+
+// Len returns the total stream length.
+func (s *InputStream) Len() int { return len(s.data) }
+
+// Buffer is an in-memory byte array.
+type Buffer struct {
+	ID   ObjectID
+	Data []byte
+	fac  *Factory
+}
+
+// NewBuffer wraps bytes in a Buffer object.
+func (f *Factory) NewBuffer(data []byte) *Buffer {
+	return &Buffer{ID: f.id(TypeBuffer), Data: data, fac: f}
+}
+
+// AsInputStream re-exposes buffer contents as a stream (Buffer ->
+// InputStream, e.g. ByteArrayInputStream).
+func (b *Buffer) AsInputStream() *InputStream {
+	s := b.fac.NewInputStream(append([]byte(nil), b.Data...))
+	b.fac.rec.RecordFlow(b.ID, s.ID)
+	return s
+}
+
+// OutputStream accumulates bytes destined for a file path.
+type OutputStream struct {
+	ID   ObjectID
+	Path string
+	Data []byte
+	fac  *Factory
+}
+
+// NewOutputStream opens an output stream to the given storage path.
+func (f *Factory) NewOutputStream(path string) *OutputStream {
+	return &OutputStream{ID: f.id(TypeOutputStream), Path: path, fac: f}
+}
+
+// Write appends buffer contents (Buffer -> OutputStream).
+func (o *OutputStream) Write(b *Buffer) {
+	o.Data = append(o.Data, b.Data...)
+	o.fac.rec.RecordFlow(b.ID, o.ID)
+}
+
+// DrainTo moves accumulated bytes into another stream (OutputStream ->
+// OutputStream, e.g. BufferedOutputStream flush).
+func (o *OutputStream) DrainTo(dst *OutputStream) {
+	dst.Data = append(dst.Data, o.Data...)
+	o.Data = nil
+	o.fac.rec.RecordFlow(o.ID, dst.ID)
+}
+
+// ToBuffer snapshots accumulated bytes (OutputStream -> Buffer, e.g.
+// ByteArrayOutputStream.toByteArray).
+func (o *OutputStream) ToBuffer() *Buffer {
+	b := o.fac.NewBuffer(append([]byte(nil), o.Data...))
+	o.fac.rec.RecordFlow(o.ID, b.ID)
+	return b
+}
+
+// CloseToFile finalizes the stream into a File object bound to the
+// stream's path (OutputStream -> File). The caller persists Data to
+// storage.
+func (o *OutputStream) CloseToFile() *FileValue {
+	fv := o.fac.NewFile(o.Path)
+	o.fac.rec.RecordFlow(o.ID, fv.ID)
+	return fv
+}
+
+// FileValue is a java.io.File bound to a storage path.
+type FileValue struct {
+	ID   ObjectID
+	Path string
+	fac  *Factory
+}
+
+// NewFile constructs a File object bound to path, emitting the bind event.
+func (f *Factory) NewFile(path string) *FileValue {
+	fv := &FileValue{ID: f.id(TypeFile), Path: path, fac: f}
+	f.rec.RecordFileBind(fv.ID, path)
+	return fv
+}
+
+// CopyTo records a file copy or rename (File -> File) and returns the
+// destination File object.
+func (fv *FileValue) CopyTo(path string) *FileValue {
+	dst := fv.fac.NewFile(path)
+	fv.fac.rec.RecordFlow(fv.ID, dst.ID)
+	return dst
+}
+
+// Open exposes file contents as a stream (File -> InputStream). The
+// caller supplies the bytes read from storage.
+func (fv *FileValue) Open(data []byte) *InputStream {
+	s := fv.fac.NewInputStream(data)
+	fv.fac.rec.RecordFlow(fv.ID, s.ID)
+	return s
+}
+
+// Network errors.
+var (
+	// ErrOffline is returned when the device has no connectivity.
+	ErrOffline = errors.New("netsim: network unreachable")
+	// ErrNotFound is returned for unknown hosts or paths.
+	ErrNotFound = errors.New("netsim: not found")
+)
+
+// Payload is one servable resource.
+type Payload struct {
+	Data        []byte
+	ContentType string
+}
+
+// Network is the registry of remote servers. The Online hook consults
+// device connectivity (android.Device.NetworkAvailable).
+type Network struct {
+	mu      sync.Mutex
+	routes  map[string]Payload // full URL -> payload
+	Online  func() bool
+	fetches []string
+}
+
+// NewNetwork creates an empty network that is always online until an
+// Online hook is installed.
+func NewNetwork() *Network {
+	return &Network{routes: make(map[string]Payload)}
+}
+
+// Serve registers a payload at the exact URL.
+func (n *Network) Serve(url string, p Payload) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.routes[url] = p
+}
+
+// Clone returns a network with a copy of the routes and no Online hook or
+// fetch history. The per-app pipeline clones the marketplace network so
+// each run binds connectivity to its own device.
+func (n *Network) Clone() *Network {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := NewNetwork()
+	for url, p := range n.routes {
+		c.routes[url] = p
+	}
+	return c
+}
+
+// Unserve removes a URL (used by the Bouncer-evasion server that flips
+// payload delivery off during review).
+func (n *Network) Unserve(url string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.routes, url)
+}
+
+// Fetch retrieves the payload at the URL, honoring connectivity. The
+// scheme must be http, https or ftp.
+func (n *Network) Fetch(url string) (Payload, error) {
+	if n.Online != nil && !n.Online() {
+		return Payload{}, fmt.Errorf("%w: %s", ErrOffline, url)
+	}
+	if !validScheme(url) {
+		return Payload{}, fmt.Errorf("netsim: unsupported scheme in %q", url)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fetches = append(n.fetches, url)
+	p, ok := n.routes[url]
+	if !ok {
+		return Payload{}, fmt.Errorf("%w: %s", ErrNotFound, url)
+	}
+	return p, nil
+}
+
+// Fetches returns the URLs fetched so far, in order.
+func (n *Network) Fetches() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.fetches...)
+}
+
+// OpenStream fetches the URL and exposes it as an InputStream, emitting
+// the URL -> InputStream flow (URLConnection.getInputStream).
+func (n *Network) OpenStream(f *Factory, u *URLValue) (*InputStream, error) {
+	p, err := n.Fetch(u.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return u.OpenWith(p.Data), nil
+}
+
+func validScheme(url string) bool {
+	for _, s := range []string{"http://", "https://", "ftp://"} {
+		if strings.HasPrefix(url, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// memRecorder captures events for assertions.
+type memRecorder struct {
+	urls  map[ObjectID]string
+	flows [][2]ObjectID
+	binds map[ObjectID]string
+}
+
+func newMemRecorder() *memRecorder {
+	return &memRecorder{urls: map[ObjectID]string{}, binds: map[ObjectID]string{}}
+}
+
+func (m *memRecorder) RecordURLInit(obj ObjectID, url string)   { m.urls[obj] = url }
+func (m *memRecorder) RecordFlow(from, to ObjectID)             { m.flows = append(m.flows, [2]ObjectID{from, to}) }
+func (m *memRecorder) RecordFileBind(obj ObjectID, path string) { m.binds[obj] = path }
+
+func (m *memRecorder) hasFlow(fromType, toType string) bool {
+	for _, f := range m.flows {
+		if f[0].Type == fromType && f[1].Type == toType {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDownloadChainEmitsTableIFlows(t *testing.T) {
+	rec := newMemRecorder()
+	fac := NewFactory(rec)
+	net := NewNetwork()
+	net.Serve("http://mobads.baidu.com/ads/pa/x.jar", Payload{Data: []byte("JARDATA")})
+
+	u := fac.NewURL("http://mobads.baidu.com/ads/pa/x.jar")
+	in, err := net.OpenStream(fac, u)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	out := fac.NewOutputStream("/data/data/app/cache/x.jar")
+	for {
+		buf := in.Read(4)
+		if buf == nil {
+			break
+		}
+		out.Write(buf)
+	}
+	fv := out.CloseToFile()
+
+	if !bytes.Equal(out.Data, []byte("JARDATA")) {
+		t.Fatalf("downloaded %q", out.Data)
+	}
+	if rec.urls[u.ID] != u.Spec {
+		t.Fatal("URL init not recorded")
+	}
+	if rec.binds[fv.ID] != "/data/data/app/cache/x.jar" {
+		t.Fatal("file bind not recorded")
+	}
+	for _, pair := range [][2]string{
+		{TypeURL, TypeInputStream},
+		{TypeInputStream, TypeBuffer},
+		{TypeBuffer, TypeOutputStream},
+		{TypeOutputStream, TypeFile},
+	} {
+		if !rec.hasFlow(pair[0], pair[1]) {
+			t.Fatalf("missing %s -> %s flow", pair[0], pair[1])
+		}
+	}
+}
+
+func TestWrapAndBufferStreams(t *testing.T) {
+	rec := newMemRecorder()
+	fac := NewFactory(rec)
+	in := fac.NewInputStream([]byte("abcdef"))
+	wrapped := in.Wrap() // InputStream -> InputStream
+	b := wrapped.ReadAll()
+	if string(b.Data) != "abcdef" {
+		t.Fatalf("ReadAll via wrap = %q", b.Data)
+	}
+	s2 := b.AsInputStream() // Buffer -> InputStream
+	if s2.Len() != 6 {
+		t.Fatalf("AsInputStream len = %d", s2.Len())
+	}
+	out1 := fac.NewOutputStream("")
+	out1.Write(b)
+	out2 := fac.NewOutputStream("/tmp/x")
+	out1.DrainTo(out2) // OutputStream -> OutputStream
+	snap := out2.ToBuffer()
+	if string(snap.Data) != "abcdef" {
+		t.Fatalf("ToBuffer = %q", snap.Data)
+	}
+	for _, pair := range [][2]string{
+		{TypeInputStream, TypeInputStream},
+		{TypeBuffer, TypeInputStream},
+		{TypeOutputStream, TypeOutputStream},
+		{TypeOutputStream, TypeBuffer},
+	} {
+		if !rec.hasFlow(pair[0], pair[1]) {
+			t.Fatalf("missing %s -> %s flow", pair[0], pair[1])
+		}
+	}
+}
+
+func TestFileFlows(t *testing.T) {
+	rec := newMemRecorder()
+	fac := NewFactory(rec)
+	f1 := fac.NewFile("/a/b.dex")
+	f2 := f1.CopyTo("/c/d.dex") // File -> File
+	in := f2.Open([]byte("x"))  // File -> InputStream
+	if in.Len() != 1 {
+		t.Fatal("Open lost data")
+	}
+	if !rec.hasFlow(TypeFile, TypeFile) || !rec.hasFlow(TypeFile, TypeInputStream) {
+		t.Fatal("missing file flows")
+	}
+	if rec.binds[f2.ID] != "/c/d.dex" {
+		t.Fatal("copy destination not bound")
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	fac := NewFactory(nil)
+	in := fac.NewInputStream([]byte("ab"))
+	if b := in.Read(10); string(b.Data) != "ab" {
+		t.Fatalf("Read = %q", b.Data)
+	}
+	if b := in.Read(1); b != nil {
+		t.Fatal("Read past end returned data")
+	}
+	if b := in.ReadAll(); b == nil || len(b.Data) != 0 {
+		t.Fatal("ReadAll at EOF should return empty buffer")
+	}
+}
+
+func TestNetworkOfflineAndMissing(t *testing.T) {
+	net := NewNetwork()
+	net.Serve("http://x.com/a", Payload{Data: []byte("1")})
+	online := true
+	net.Online = func() bool { return online }
+
+	if _, err := net.Fetch("http://x.com/a"); err != nil {
+		t.Fatalf("online fetch: %v", err)
+	}
+	online = false
+	if _, err := net.Fetch("http://x.com/a"); !errors.Is(err, ErrOffline) {
+		t.Fatalf("offline fetch err = %v", err)
+	}
+	online = true
+	if _, err := net.Fetch("http://x.com/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing fetch err = %v", err)
+	}
+	if _, err := net.Fetch("gopher://x.com/a"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	net.Unserve("http://x.com/a")
+	if _, err := net.Fetch("http://x.com/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unserved fetch err = %v", err)
+	}
+	fetches := net.Fetches()
+	// Offline and bad-scheme fetches are rejected before recording.
+	if len(fetches) != 3 {
+		t.Fatalf("Fetches recorded %d, want 3: %v", len(fetches), fetches)
+	}
+}
+
+func TestSchemes(t *testing.T) {
+	net := NewNetwork()
+	for _, u := range []string{"http://a/b", "https://a/b", "ftp://a/b"} {
+		net.Serve(u, Payload{Data: []byte("d")})
+		if _, err := net.Fetch(u); err != nil {
+			t.Fatalf("Fetch(%s): %v", u, err)
+		}
+	}
+}
+
+func TestObjectIDsUnique(t *testing.T) {
+	fac := NewFactory(nil)
+	seen := map[ObjectID]bool{}
+	for i := 0; i < 100; i++ {
+		id := fac.NewBuffer(nil).ID
+		if seen[id] {
+			t.Fatalf("duplicate object id %v", id)
+		}
+		seen[id] = true
+	}
+}

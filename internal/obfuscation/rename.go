@@ -1,0 +1,174 @@
+package obfuscation
+
+import (
+	"fmt"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+)
+
+// LexicalRename applies ProGuard-style identifier renaming to the app:
+// every application class moves to the single-letter package "o" with a
+// generated short name, and non-framework method and field names shrink
+// to a, b, c, ... Framework callback methods (the "on*" lifecycle and UI
+// surface), constructors and native methods keep their names, exactly as
+// ProGuard keeps overrides of library methods. The manifest is rewritten
+// to the new component names. The input is not modified.
+func LexicalRename(a *apk.APK) (*apk.APK, error) {
+	if a.Dex == nil {
+		return a.Clone(), nil
+	}
+	df, err := dex.Decode(a.Dex)
+	if err != nil {
+		return nil, fmt.Errorf("obfuscation: rename: %w", err)
+	}
+
+	classMap := make(map[string]string, len(df.Classes))
+	names := newNameSeq()
+	for _, c := range df.Classes {
+		classMap[c.Name] = "o." + names.next()
+	}
+	methodMap := make(map[string]map[string]string, len(df.Classes))
+	fieldMap := make(map[string]map[string]string, len(df.Classes))
+	for _, c := range df.Classes {
+		mm := make(map[string]string)
+		mnames := newNameSeq()
+		for _, m := range c.Methods {
+			if keepMethodName(m) {
+				continue
+			}
+			mm[m.Name] = mnames.next()
+		}
+		methodMap[c.Name] = mm
+		fm := make(map[string]string)
+		fnames := newNameSeq()
+		for _, fl := range c.Fields {
+			fm[fl.Name] = fnames.next()
+		}
+		fieldMap[c.Name] = fm
+	}
+
+	mapClass := func(name string) string {
+		if n, ok := classMap[name]; ok {
+			return n
+		}
+		return name
+	}
+	mapMethod := func(class, name string) string {
+		if mm, ok := methodMap[class]; ok {
+			if n, ok := mm[name]; ok {
+				return n
+			}
+		}
+		return name
+	}
+	mapField := func(class, name string) string {
+		if fm, ok := fieldMap[class]; ok {
+			if n, ok := fm[name]; ok {
+				return n
+			}
+		}
+		return name
+	}
+
+	out := &dex.File{}
+	for _, c := range df.Classes {
+		nc := &dex.Class{
+			Name:       mapClass(c.Name),
+			Super:      mapClass(c.Super),
+			Flags:      c.Flags,
+			SourceFile: "", // ProGuard strips source attribution
+		}
+		for _, ifc := range c.Interfaces {
+			nc.Interfaces = append(nc.Interfaces, mapClass(ifc))
+		}
+		for _, fl := range c.Fields {
+			nc.Fields = append(nc.Fields, &dex.Field{
+				Name: mapField(c.Name, fl.Name), Type: fl.Type, Flags: fl.Flags,
+			})
+		}
+		for _, m := range c.Methods {
+			nm := &dex.Method{
+				Name:      mapMethod(c.Name, m.Name),
+				Params:    append([]string(nil), m.Params...),
+				Return:    m.Return,
+				Flags:     m.Flags,
+				Registers: m.Registers,
+			}
+			for _, in := range m.Code {
+				ni := in
+				switch {
+				case in.Op == dex.OpNewInstance || in.Op == dex.OpCheckCast || in.Op == dex.OpInstanceOf:
+					ni.Str = mapClass(in.Str)
+				case in.Op.IsInvoke():
+					ni.Method = dex.MethodRef{
+						Class: mapClass(in.Method.Class),
+						Name:  mapMethod(in.Method.Class, in.Method.Name),
+						Sig:   in.Method.Sig,
+					}
+					ni.Args = append([]int(nil), in.Args...)
+				case in.Op == dex.OpIGet || in.Op == dex.OpIPut || in.Op == dex.OpSGet || in.Op == dex.OpSPut:
+					ni.Field = dex.FieldRef{
+						Class: mapClass(in.Field.Class),
+						Name:  mapField(in.Field.Class, in.Field.Name),
+						Type:  in.Field.Type,
+					}
+				}
+				nm.Code = append(nm.Code, ni)
+			}
+			nc.Methods = append(nc.Methods, nm)
+		}
+		out.Classes = append(out.Classes, nc)
+	}
+
+	encoded, err := dex.Encode(out)
+	if err != nil {
+		return nil, fmt.Errorf("obfuscation: rename: %w", err)
+	}
+	cp := a.Clone()
+	cp.Dex = encoded
+	cp.Manifest.Application.Name = mapClass(cp.Manifest.Application.Name)
+	renameComponents(cp.Manifest.Application.Activities, mapClass)
+	renameComponents(cp.Manifest.Application.Services, mapClass)
+	renameComponents(cp.Manifest.Application.Receivers, mapClass)
+	renameComponents(cp.Manifest.Application.Providers, mapClass)
+	return cp, nil
+}
+
+func renameComponents(comps []apk.Component, mapClass func(string) string) {
+	for i := range comps {
+		comps[i].Name = mapClass(comps[i].Name)
+	}
+}
+
+// keepMethodName reports whether renaming must preserve the method name:
+// constructors, framework lifecycle/UI callbacks, and native methods
+// (whose JNI symbols embed the name).
+func keepMethodName(m *dex.Method) bool {
+	if m.Name == "<init>" || m.Name == "<clinit>" {
+		return true
+	}
+	if len(m.Name) > 2 && m.Name[:2] == "on" {
+		return true
+	}
+	return m.Flags&dex.ACCNative != 0
+}
+
+// nameSeq yields a, b, ..., z, aa, ab, ... deterministically.
+type nameSeq struct{ n int }
+
+func newNameSeq() *nameSeq { return &nameSeq{} }
+
+func (s *nameSeq) next() string {
+	n := s.n
+	s.n++
+	name := ""
+	for {
+		name = string(rune('a'+n%26)) + name
+		n = n/26 - 1
+		if n < 0 {
+			break
+		}
+	}
+	return name
+}

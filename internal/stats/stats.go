@@ -1,0 +1,94 @@
+// Package stats provides the small aggregation and rendering helpers the
+// measurement harness uses: means, percentages and aligned text tables in
+// the style of the paper's result tables.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInt64 returns the mean of integer observations.
+func MeanInt64(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// Pct formats n as a percentage of total, e.g. "41.05%".
+func Pct(n, total int) string {
+	if total == 0 {
+		return "0.00%"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(n)/float64(total))
+}
+
+// CountPct renders "n (p%)" as the paper's tables do.
+func CountPct(n, total int) string {
+	return fmt.Sprintf("%d (%s)", n, Pct(n, total))
+}
+
+// Table accumulates an aligned text table.
+type Table struct {
+	title string
+	rows  [][]string
+}
+
+// NewTable starts a table with a title and header row.
+func NewTable(title string, header ...string) *Table {
+	t := &Table{title: title}
+	if len(header) > 0 {
+		t.rows = append(t.rows, header)
+	}
+	return t
+}
+
+// Row appends a data row; cells are stringified with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("-", len(t.title)))
+		b.WriteByte('\n')
+	}
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}

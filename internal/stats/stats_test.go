@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %f", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %f", got)
+	}
+	if got := MeanInt64([]int64{10, 20}); got != 15 {
+		t.Fatalf("MeanInt64 = %f", got)
+	}
+	if got := MeanInt64(nil); got != 0 {
+		t.Fatalf("MeanInt64(nil) = %f", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(41, 100); got != "41.00%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(1, 0); got != "0.00%" {
+		t.Fatalf("Pct div0 = %q", got)
+	}
+	if got := CountPct(16768, 40849); got != "16768 (41.05%)" {
+		t.Fatalf("CountPct = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "Name", "Value")
+	tb.Row("alpha", 1)
+	tb.Row("beta", 2.5)
+	out := tb.String()
+	for _, want := range []string{"Demo", "----", "Name", "alpha", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: "Name" and "alpha" start at the same offset.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines: %q", len(lines), out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("")
+	tb.Row("x")
+	if strings.Contains(tb.String(), "---") {
+		t.Fatal("untitled table rendered separator")
+	}
+}

@@ -1,0 +1,365 @@
+package taint
+
+import (
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/dex"
+)
+
+var (
+	refGetIMEI = dex.MethodRef{Class: "android.telephony.TelephonyManager",
+		Name: "getDeviceId", Sig: "()Ljava/lang/String;"}
+	refGetLoc = dex.MethodRef{Class: "android.location.LocationManager",
+		Name: "getLastKnownLocation", Sig: "(Ljava/lang/String;)Landroid/location/Location;"}
+	refSinkHTTP = dex.MethodRef{Class: "java.net.HttpURLConnection",
+		Name: "write", Sig: "(Ljava/lang/String;)V"}
+	refSinkSMS = dex.MethodRef{Class: "android.telephony.SmsManager",
+		Name: "sendTextMessage", Sig: "(Ljava/lang/String;Ljava/lang/String;)V"}
+	refQuery = dex.MethodRef{Class: "android.content.ContentResolver",
+		Name: "query", Sig: "(Landroid/net/Uri;)Landroid/database/Cursor;"}
+)
+
+func TestDirectLeak(t *testing.T) {
+	b := dex.NewBuilder()
+	m := b.Class("com.ads.Tracker", "java.lang.Object").
+		Method("track", dex.ACCPublic, 4, "V")
+	m.NewInstance(1, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 1).
+		MoveResult(2).
+		NewInstance(3, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 3, 2).
+		ReturnVoid().Done()
+
+	res := Analyze(b.File())
+	if len(res.Leaks) != 1 {
+		t.Fatalf("leaks = %+v, want 1", res.Leaks)
+	}
+	l := res.Leaks[0]
+	if l.Type != android.DTIMEI || l.Category != android.CatPhoneIdentity ||
+		l.Class != "com.ads.Tracker" || l.Method != "track" {
+		t.Fatalf("leak = %+v", l)
+	}
+	if !res.SourcesSeen[android.DTIMEI] {
+		t.Fatal("source not recorded")
+	}
+}
+
+func TestNoLeakWithoutSink(t *testing.T) {
+	b := dex.NewBuilder()
+	m := b.Class("com.app.Reader", "java.lang.Object").
+		Method("read", dex.ACCPublic, 3, "Ljava/lang/String;")
+	m.NewInstance(1, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 1).
+		MoveResult(2).
+		Return(2).Done()
+	res := Analyze(b.File())
+	if len(res.Leaks) != 0 {
+		t.Fatalf("unexpected leaks: %+v", res.Leaks)
+	}
+	if !res.SourcesSeen[android.DTIMEI] {
+		t.Fatal("SourcesSeen should record read-without-leak")
+	}
+}
+
+func TestUntaintedSinkIsClean(t *testing.T) {
+	b := dex.NewBuilder()
+	m := b.Class("com.app.Logger", "java.lang.Object").
+		Method("log", dex.ACCPublic, 3, "V")
+	m.ConstString(1, "hello").
+		NewInstance(2, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 2, 1).
+		ReturnVoid().Done()
+	res := Analyze(b.File())
+	if len(res.Leaks) != 0 {
+		t.Fatalf("constant data flagged as leak: %+v", res.Leaks)
+	}
+}
+
+func TestInterproceduralReturnFlow(t *testing.T) {
+	// source in helper, sink in caller: helper() returns IMEI.
+	b := dex.NewBuilder()
+	cls := b.Class("com.sdk.Lib", "java.lang.Object")
+	h := cls.Method("getId", dex.ACCPublic, 3, "Ljava/lang/String;")
+	h.NewInstance(1, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 1).
+		MoveResult(2).
+		Return(2).Done()
+	m := cls.Method("send", dex.ACCPublic, 4, "V")
+	m.InvokeVirtual(dex.MethodRef{Class: "com.sdk.Lib", Name: "getId",
+		Sig: "()Ljava/lang/String;"}, 0).
+		MoveResult(1).
+		NewInstance(2, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 2, 1).
+		ReturnVoid().Done()
+
+	res := Analyze(b.File())
+	if len(res.Leaks) != 1 || res.Leaks[0].Type != android.DTIMEI {
+		t.Fatalf("interprocedural return flow missed: %+v", res.Leaks)
+	}
+}
+
+func TestInterproceduralParamToSink(t *testing.T) {
+	// source in caller, sink in callee: exfil(data) writes to network.
+	b := dex.NewBuilder()
+	cls := b.Class("com.sdk.Lib", "java.lang.Object")
+	ex := cls.Method("exfil", dex.ACCPublic, 3, "V", "Ljava/lang/String;")
+	ex.NewInstance(2, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 2, 1).
+		ReturnVoid().Done()
+	m := cls.Method("collect", dex.ACCPublic, 4, "V")
+	m.NewInstance(1, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 1).
+		MoveResult(2).
+		InvokeVirtual(dex.MethodRef{Class: "com.sdk.Lib", Name: "exfil",
+			Sig: "(Ljava/lang/String;)V"}, 0, 2).
+		ReturnVoid().Done()
+
+	res := Analyze(b.File())
+	if len(res.Leaks) != 1 || res.Leaks[0].Type != android.DTIMEI {
+		t.Fatalf("param-to-sink flow missed: %+v", res.Leaks)
+	}
+	// Attribution is at the call site that supplied tainted data.
+	if res.Leaks[0].Method != "collect" {
+		t.Fatalf("leak attributed to %q, want collect", res.Leaks[0].Method)
+	}
+}
+
+func TestFieldMediatedFlow(t *testing.T) {
+	// Taint stored into a field in one method, leaked from another.
+	fld := dex.FieldRef{Class: "com.sdk.Store", Name: "cache", Type: "Ljava/lang/String;"}
+	b := dex.NewBuilder()
+	cls := b.Class("com.sdk.Store", "java.lang.Object")
+	w := cls.Method("save", dex.ACCPublic, 3, "V")
+	w.NewInstance(1, "android.location.LocationManager").
+		ConstString(2, "gps").
+		InvokeVirtual(refGetLoc, 1, 2).
+		MoveResult(2).
+		SPut(2, fld).
+		ReturnVoid().Done()
+	r := cls.Method("flush", dex.ACCPublic, 3, "V")
+	r.SGet(1, fld).
+		NewInstance(2, "android.telephony.SmsManager").
+		InvokeVirtual(refSinkSMS, 2, 1).
+		ReturnVoid().Done()
+
+	res := Analyze(b.File())
+	if len(res.Leaks) != 1 || res.Leaks[0].Type != android.DTLocation {
+		t.Fatalf("field-mediated flow missed: %+v", res.Leaks)
+	}
+	if res.Leaks[0].Method != "flush" {
+		t.Fatalf("leak site = %q", res.Leaks[0].Method)
+	}
+}
+
+func TestContentProviderURISource(t *testing.T) {
+	b := dex.NewBuilder()
+	m := b.Class("com.sdk.Harvest", "java.lang.Object").
+		Method("dump", dex.ACCPublic, 5, "V")
+	m.NewInstance(1, "android.content.ContentResolver").
+		ConstString(2, "content://sms/inbox").
+		InvokeVirtual(refQuery, 1, 2).
+		MoveResult(3).
+		NewInstance(4, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 4, 3).
+		ReturnVoid().Done()
+
+	res := Analyze(b.File())
+	if len(res.Leaks) != 1 || res.Leaks[0].Type != android.DTSMS ||
+		res.Leaks[0].Category != android.CatContentProvider {
+		t.Fatalf("provider leak = %+v", res.Leaks)
+	}
+}
+
+func TestUnknownProviderURIClean(t *testing.T) {
+	b := dex.NewBuilder()
+	m := b.Class("com.app.Own", "java.lang.Object").
+		Method("q", dex.ACCPublic, 5, "V")
+	m.NewInstance(1, "android.content.ContentResolver").
+		ConstString(2, "content://com.app.own/data").
+		InvokeVirtual(refQuery, 1, 2).
+		MoveResult(3).
+		NewInstance(4, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 4, 3).
+		ReturnVoid().Done()
+	res := Analyze(b.File())
+	if len(res.Leaks) != 0 {
+		t.Fatalf("app-private provider flagged: %+v", res.Leaks)
+	}
+}
+
+func TestBranchMerging(t *testing.T) {
+	// Taint flows through only one branch; the merged state must keep it.
+	b := dex.NewBuilder()
+	m := b.Class("com.app.Branch", "java.lang.Object").
+		Method("f", dex.ACCPublic, 5, "V", "I")
+	m.ConstString(2, "clean").
+		IfEqz(1, "skip").
+		NewInstance(3, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 3).
+		MoveResult(2).
+		Label("skip").
+		NewInstance(4, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 4, 2).
+		ReturnVoid().Done()
+	res := Analyze(b.File())
+	if len(res.Leaks) != 1 {
+		t.Fatalf("branch-merged taint missed: %+v", res.Leaks)
+	}
+}
+
+func TestLoopDoesNotDiverge(t *testing.T) {
+	b := dex.NewBuilder()
+	m := b.Class("com.app.Loop", "java.lang.Object").
+		Method("f", dex.ACCPublic, 5, "V")
+	m.Const(1, 0).
+		Const(2, 10).
+		Label("top").
+		IfGe(1, 2, "end").
+		NewInstance(3, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 3).
+		MoveResult(4).
+		Const(0, 1).
+		Add(1, 1, 0).
+		Goto("top").
+		Label("end").
+		NewInstance(3, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 3, 4).
+		ReturnVoid().Done()
+	res := Analyze(b.File())
+	if len(res.Leaks) != 1 {
+		t.Fatalf("loop-carried taint missed: %+v", res.Leaks)
+	}
+}
+
+func TestLeakedTypesAndClasses(t *testing.T) {
+	b := dex.NewBuilder()
+	m := b.Class("com.x.A", "java.lang.Object").Method("f", dex.ACCPublic, 4, "V")
+	m.NewInstance(1, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 1).
+		MoveResult(2).
+		NewInstance(3, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 3, 2).
+		ReturnVoid().Done()
+	res := Analyze(b.File())
+	if got := res.LeakedTypes(); len(got) != 1 || got[0] != android.DTIMEI {
+		t.Fatalf("LeakedTypes = %v", got)
+	}
+	if got := res.LeakClasses(android.DTIMEI); len(got) != 1 || got[0] != "com.x.A" {
+		t.Fatalf("LeakClasses = %v", got)
+	}
+	if got := res.LeakClasses(android.DTSMS); len(got) != 0 {
+		t.Fatalf("LeakClasses for unleaked type = %v", got)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	res := Analyze(&dex.File{})
+	if len(res.Leaks) != 0 || len(res.SourcesSeen) != 0 {
+		t.Fatal("empty file produced results")
+	}
+}
+
+func TestArrayMediatedFlow(t *testing.T) {
+	// Taint stored into an array element and read back still reaches the
+	// sink (the array rules are coarse but sound).
+	b := dex.NewBuilder()
+	m := b.Class("com.app.Arr", "java.lang.Object").
+		Method("f", dex.ACCPublic, 8, "V")
+	m.Const(1, 2).
+		NewArray(2, 1, "Ljava/lang/String;").
+		NewInstance(3, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 3).
+		MoveResult(4).
+		Const(5, 0).
+		ArrayPut(4, 2, 5).
+		ArrayGet(6, 2, 5).
+		NewInstance(7, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 7, 6).
+		ReturnVoid().Done()
+	res := Analyze(b.File())
+	if len(res.Leaks) != 1 || res.Leaks[0].Type != android.DTIMEI {
+		t.Fatalf("array-mediated flow missed: %+v", res.Leaks)
+	}
+}
+
+func TestUnknownExternalCallPropagates(t *testing.T) {
+	// Tainted data through an unmodeled external API (e.g. Base64.encode)
+	// stays tainted — conservative soundness.
+	b := dex.NewBuilder()
+	m := b.Class("com.app.Enc", "java.lang.Object").
+		Method("f", dex.ACCPublic, 6, "V")
+	m.NewInstance(1, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 1).
+		MoveResult(2).
+		InvokeStatic(dex.MethodRef{Class: "android.util.Base64", Name: "encodeToString",
+			Sig: "(Ljava/lang/String;)Ljava/lang/String;"}, 2).
+		MoveResult(3).
+		NewInstance(4, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 4, 3).
+		ReturnVoid().Done()
+	res := Analyze(b.File())
+	if len(res.Leaks) != 1 {
+		t.Fatalf("encoded leak missed: %+v", res.Leaks)
+	}
+}
+
+func TestVirtualDispatchByNameSummary(t *testing.T) {
+	// A call whose static signature differs (virtual dispatch resolved by
+	// name) still applies the callee summary.
+	b := dex.NewBuilder()
+	cls := b.Class("com.sdk.V", "java.lang.Object")
+	h := cls.Method("source", dex.ACCPublic, 3, "Ljava/lang/String;", "I")
+	h.NewInstance(1, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 1).
+		MoveResult(2).
+		Return(2).Done()
+	m := cls.Method("go", dex.ACCPublic, 4, "V")
+	// Signature omits the int param: resolution falls back to name match.
+	m.InvokeVirtual(dex.MethodRef{Class: "com.sdk.V", Name: "source",
+		Sig: "()Ljava/lang/String;"}, 0).
+		MoveResult(1).
+		NewInstance(2, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 2, 1).
+		ReturnVoid().Done()
+	res := Analyze(b.File())
+	if len(res.Leaks) != 1 {
+		t.Fatalf("name-dispatched summary missed: %+v", res.Leaks)
+	}
+}
+
+func TestMultipleTypesOneSink(t *testing.T) {
+	b := dex.NewBuilder()
+	m := b.Class("com.app.Multi", "java.lang.Object").
+		Method("f", dex.ACCPublic, 8, "V")
+	m.NewInstance(1, "android.telephony.TelephonyManager").
+		InvokeVirtual(refGetIMEI, 1).
+		MoveResult(2).
+		NewInstance(3, "android.location.LocationManager").
+		ConstString(4, "gps").
+		InvokeVirtual(refGetLoc, 3, 4).
+		MoveResult(5).
+		Add(6, 2, 5). // concatenated identifiers
+		NewInstance(7, "java.net.HttpURLConnection").
+		InvokeVirtual(refSinkHTTP, 7, 6).
+		ReturnVoid().Done()
+	res := Analyze(b.File())
+	types := res.LeakedTypes()
+	if len(types) != 2 {
+		t.Fatalf("LeakedTypes = %v, want IMEI+Location", types)
+	}
+}
+
+func TestNativeMethodNoCode(t *testing.T) {
+	// Methods without bodies (native) must not disturb the analysis.
+	b := dex.NewBuilder()
+	cls := b.Class("com.app.N", "java.lang.Object")
+	cls.NativeMethod("jni", "V")
+	m := cls.Method("f", dex.ACCPublic, 4, "V")
+	m.InvokeVirtual(dex.MethodRef{Class: "com.app.N", Name: "jni", Sig: "()V"}, 0).
+		ReturnVoid().Done()
+	res := Analyze(b.File())
+	if len(res.Leaks) != 0 {
+		t.Fatalf("native-method file produced leaks: %+v", res.Leaks)
+	}
+}

@@ -1,0 +1,96 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/dydroid/dydroid/internal/dex"
+)
+
+// ErrNoActivity is returned by LaunchApp when the manifest declares no
+// activity component — the Table II "No activity" failure class the fuzzer
+// cannot exercise.
+var ErrNoActivity = errors.New("vm: app declares no activity")
+
+// LaunchApp performs the process-start sequence: instantiate the
+// android:name Application subclass (if declared) and run its onCreate —
+// this executes before any component, which is exactly the hook packers
+// exploit (paper §III-D) — then create the launcher activity and run its
+// onCreate. It returns the activity instance for the fuzzer to drive.
+func (m *VM) LaunchApp() (*Object, error) {
+	if appClass := m.App.APK.Manifest.Application.Name; appClass != "" {
+		if c := m.resolveClass(appClass); c != nil {
+			inst := m.newObject(appClass)
+			if init := c.FindMethod("<init>", ""); init != nil {
+				if _, err := m.interpret(c, init, []Value{RefVal(inst)}); err != nil {
+					return nil, err
+				}
+			}
+			if onCreate := c.FindMethod("onCreate", ""); onCreate != nil {
+				m.steps = 0
+				if _, err := m.interpret(c, onCreate, []Value{RefVal(inst)}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	actName := m.App.APK.Manifest.LaunchActivity()
+	if actName == "" {
+		return nil, fmt.Errorf("%w: %s", ErrNoActivity, m.App.Package)
+	}
+	actClass := m.resolveClass(actName)
+	if actClass == nil {
+		return nil, fmt.Errorf("%w: activity class %s missing", ErrAppCrash, actName)
+	}
+	inst := m.newObject(actName)
+	if init := actClass.FindMethod("<init>", ""); init != nil {
+		if _, err := m.interpret(actClass, init, []Value{RefVal(inst)}); err != nil {
+			return nil, err
+		}
+	}
+	if onCreate := actClass.FindMethod("onCreate", ""); onCreate != nil {
+		m.steps = 0
+		if _, err := m.interpret(actClass, onCreate, []Value{RefVal(inst), Null}); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// Callbacks lists the UI callback methods the fuzzer can fire on the
+// activity: public zero-extra-arg methods whose name starts with "on",
+// excluding the lifecycle set. Sorted source order is preserved for
+// deterministic fuzzing.
+func (m *VM) Callbacks(activity *Object) []string {
+	c := m.resolveClass(activity.Class)
+	if c == nil {
+		return nil
+	}
+	var out []string
+	for _, mm := range c.Methods {
+		if mm.Name == "onCreate" || mm.Name == "onResume" || mm.Name == "onPause" ||
+			mm.Name == "onDestroy" || mm.Name == "<init>" {
+			continue
+		}
+		if strings.HasPrefix(mm.Name, "on") && mm.Flags&dex.ACCPublic != 0 && len(mm.Params) == 0 {
+			out = append(out, mm.Name)
+		}
+	}
+	return out
+}
+
+// FireCallback invokes one UI callback on the activity.
+func (m *VM) FireCallback(activity *Object, name string) error {
+	c := m.resolveClass(activity.Class)
+	if c == nil {
+		return fmt.Errorf("%w: activity class %s missing", ErrAppCrash, activity.Class)
+	}
+	mm := c.FindMethod(name, "")
+	if mm == nil {
+		return fmt.Errorf("%w: no callback %s.%s", ErrAppCrash, activity.Class, name)
+	}
+	m.steps = 0
+	_, err := m.interpret(c, mm, []Value{RefVal(activity)})
+	return err
+}

@@ -1,0 +1,103 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+)
+
+// ClassLoader models dalvik.system.DexClassLoader / PathClassLoader. A
+// loader owns the classes decoded from the files on its dexPath.
+type ClassLoader struct {
+	Kind         LoaderKind
+	DexPath      string // ':'-separated list of loaded files
+	OptimizedDir string
+	Parent       *ClassLoader
+	classes      map[string]*dex.Class
+}
+
+// FindClass resolves a class by Java binary name, delegating to the
+// parent loader first (Android's parent-delegation model).
+func (cl *ClassLoader) FindClass(name string) *dex.Class {
+	if cl == nil {
+		return nil
+	}
+	if c := cl.Parent.FindClass(name); c != nil {
+		return c
+	}
+	return cl.classes[name]
+}
+
+// Classes returns the classes this loader defined (excluding parents).
+func (cl *ClassLoader) Classes() map[string]*dex.Class {
+	return cl.classes
+}
+
+// newClassLoader decodes every file on dexPath from device storage,
+// writes the optimized ODEX into optimizedDir (when given), and registers
+// the classes. It mirrors the constructor behaviour the paper hooks: the
+// hook has already fired before this runs.
+func (m *VM) newClassLoader(kind LoaderKind, dexPath, optimizedDir string, parent *ClassLoader) (*ClassLoader, error) {
+	cl := &ClassLoader{
+		Kind:         kind,
+		DexPath:      dexPath,
+		OptimizedDir: optimizedDir,
+		Parent:       parent,
+		classes:      make(map[string]*dex.Class),
+	}
+	for _, path := range strings.Split(dexPath, ":") {
+		if path == "" {
+			continue
+		}
+		data, err := m.Device.Storage.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("vm: class loader: %w", err)
+		}
+		df, err := decodeLoadable(data)
+		if err != nil {
+			return nil, fmt.Errorf("vm: class loader: %s: %w", path, err)
+		}
+		if optimizedDir != "" && !dex.IsOptimized(data) {
+			odex, err := dex.Optimize(df)
+			if err != nil {
+				return nil, fmt.Errorf("vm: dexopt %s: %w", path, err)
+			}
+			optPath := optimizedDir + "/" + baseName(path) + ".odex"
+			// dexopt runs as the system installd daemon.
+			if err := m.Device.Storage.WriteFile(optPath, odex, "system", false); err != nil {
+				return nil, fmt.Errorf("vm: dexopt write %s: %w", optPath, err)
+			}
+		}
+		for _, c := range df.Classes {
+			cl.classes[c.Name] = c
+		}
+	}
+	m.loaders = append(m.loaders, cl)
+	return cl, nil
+}
+
+// decodeLoadable accepts the file formats DexClassLoader supports (paper
+// §II): raw DEX/ODEX bytes, or APK/JAR/ZIP containers whose classes.dex
+// entry is loaded.
+func decodeLoadable(data []byte) (*dex.File, error) {
+	if len(data) >= 2 && data[0] == 'P' && data[1] == 'K' {
+		a, err := apk.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("container: %w", err)
+		}
+		if a.Dex == nil {
+			return nil, fmt.Errorf("container has no classes.dex entry")
+		}
+		return dex.Decode(a.Dex)
+	}
+	return dex.Decode(data)
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

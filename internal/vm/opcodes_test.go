@@ -1,0 +1,207 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/dex"
+)
+
+// runMethod executes a freshly built method body and returns its result.
+func runMethod(t *testing.T, build func(*dex.MethodBuilder)) (Value, error) {
+	t.Helper()
+	dev := android.NewDevice()
+	b := dex.NewBuilder()
+	cls := b.Class("com.op.T", "android.app.Activity")
+	m := cls.Method("f", dex.ACCPublic, 12, "I")
+	build(m)
+	m.Done()
+	cls.Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := installApp(t, dev, "com.op", dexBytes, nil, "")
+	vm, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.InvokeMethod("com.op.T", "f", Null)
+}
+
+func expectInt(t *testing.T, want int64, build func(*dex.MethodBuilder)) {
+	t.Helper()
+	v, err := runMethod(t, build)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if v.AsInt() != want {
+		t.Fatalf("result = %v, want %d", v, want)
+	}
+}
+
+func expectCrash(t *testing.T, fragment string, build func(*dex.MethodBuilder)) {
+	t.Helper()
+	_, err := runMethod(t, build)
+	if !errors.Is(err, ErrAppCrash) {
+		t.Fatalf("err = %v, want ErrAppCrash", err)
+	}
+	if fragment != "" && !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("err = %v, want substring %q", err, fragment)
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	expectInt(t, 6, func(m *dex.MethodBuilder) {
+		m.Const(1, 10).Const(2, 4).Sub(3, 1, 2).Return(3)
+	})
+	expectInt(t, 42, func(m *dex.MethodBuilder) {
+		m.Const(1, 6).Const(2, 7).Mul(3, 1, 2).Return(3)
+	})
+	expectInt(t, 7, func(m *dex.MethodBuilder) {
+		m.Const(1, 42).Const(2, 6).Div(3, 1, 2).Return(3)
+	})
+	expectInt(t, 0b0110, func(m *dex.MethodBuilder) {
+		m.Const(1, 0b1100).Const(2, 0b1010).Xor(3, 1, 2).Return(3)
+	})
+}
+
+func TestDivByZeroCrashes(t *testing.T) {
+	expectCrash(t, "division by zero", func(m *dex.MethodBuilder) {
+		m.Const(1, 5).Const(2, 0).Div(3, 1, 2).Return(3)
+	})
+}
+
+func TestArrays(t *testing.T) {
+	expectInt(t, 3, func(m *dex.MethodBuilder) {
+		m.Const(1, 3).
+			NewArray(2, 1, "I").
+			ArrayLength(3, 2).
+			Return(3)
+	})
+	expectInt(t, 17, func(m *dex.MethodBuilder) {
+		m.Const(1, 4).
+			NewArray(2, 1, "I").
+			Const(3, 17).
+			Const(4, 2).
+			ArrayPut(3, 2, 4).
+			ArrayGet(5, 2, 4).
+			Return(5)
+	})
+}
+
+func TestArrayBoundsCrash(t *testing.T) {
+	expectCrash(t, "out of bounds", func(m *dex.MethodBuilder) {
+		m.Const(1, 2).
+			NewArray(2, 1, "I").
+			Const(3, 5).
+			ArrayGet(4, 2, 3).
+			Return(4)
+	})
+}
+
+func TestNegativeArrayLengthCrash(t *testing.T) {
+	expectCrash(t, "new-array", func(m *dex.MethodBuilder) {
+		m.Const(1, -1).
+			NewArray(2, 1, "I").
+			Const(3, 0).
+			Return(3)
+	})
+}
+
+func TestInstanceOfAndCheckCast(t *testing.T) {
+	// InstanceOf walks the superclass chain of app classes.
+	dev := android.NewDevice()
+	b := dex.NewBuilder()
+	b.Class("com.io.Base", "java.lang.Object")
+	b.Class("com.io.Child", "com.io.Base")
+	cls := b.Class("com.io.T", "android.app.Activity")
+	m := cls.Method("f", dex.ACCPublic, 6, "I")
+	m.NewInstance(1, "com.io.Child").
+		CheckCast(1, "com.io.Base").
+		InstanceOf(2, 1, "com.io.Base").
+		InstanceOf(3, 1, "java.lang.Runnable").
+		Const(4, 10).
+		Mul(5, 2, 4).
+		Add(5, 5, 3).
+		Return(5) // 10*isBase + isRunnable = 10
+	m.Done()
+	cls.Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := installApp(t, dev, "com.io", dexBytes, nil, "")
+	vmach, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vmach.InvokeMethod("com.io.T", "f", Null)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 10 {
+		t.Fatalf("instance-of result = %v, want 10", v)
+	}
+}
+
+func TestFieldAccessOnNonObjectCrashes(t *testing.T) {
+	expectCrash(t, "iget", func(m *dex.MethodBuilder) {
+		m.Const(1, 5).
+			IGet(2, 1, dex.FieldRef{Class: "com.op.T", Name: "x", Type: "I"}).
+			Return(2)
+	})
+	expectCrash(t, "iput", func(m *dex.MethodBuilder) {
+		m.Const(1, 5).
+			IPut(1, 1, dex.FieldRef{Class: "com.op.T", Name: "x", Type: "I"}).
+			Return(1)
+	})
+}
+
+func TestInstanceFields(t *testing.T) {
+	expectInt(t, 21, func(m *dex.MethodBuilder) {
+		fld := dex.FieldRef{Class: "com.op.T", Name: "v", Type: "I"}
+		m.NewInstance(1, "com.op.Box").
+			Const(2, 21).
+			IPut(2, 1, fld).
+			IGet(3, 1, fld).
+			Return(3)
+	})
+}
+
+func TestStringConcatViaAdd(t *testing.T) {
+	v, err := runMethod(t, func(m *dex.MethodBuilder) {
+		m.ConstString(1, "/data/data/").
+			ConstString(2, "com.x").
+			Add(3, 1, 2).
+			Return(3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsString() != "/data/data/com.x" {
+		t.Fatalf("concat = %q", v.AsString())
+	}
+}
+
+func TestStackOverflowCrashes(t *testing.T) {
+	dev := android.NewDevice()
+	b := dex.NewBuilder()
+	cls := b.Class("com.so.T", "android.app.Activity")
+	m := cls.Method("recurse", dex.ACCPublic, 2, "V")
+	m.InvokeVirtual(dex.MethodRef{Class: "com.so.T", Name: "recurse", Sig: "()V"}, 0).
+		ReturnVoid().Done()
+	cls.Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, "com.so", dexBytes, nil, "")
+	vmach, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = vmach.InvokeMethod("com.so.T", "recurse", Null)
+	if !errors.Is(err, ErrAppCrash) || !strings.Contains(err.Error(), "stack overflow") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,60 @@
+package vm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// SecureLoaderClass is the drop-in secure class loader of Falsina et
+// al.'s Grab'n Run (ACSAC 2015), which the paper cites as the proposed
+// fix for the Table IX code-injection vulnerabilities: the developer
+// pins the expected digest of the code to be loaded, and the loader
+// refuses anything else. Constructor signature:
+//
+//	SecureDexClassLoader(dexPath, optimizedDir, libSearchPath, parent,
+//	                     expectedSHA256Hex)
+//
+// The construction still fires the DCL hook — DyDroid observes secure
+// loads like any other — but a digest mismatch raises a
+// SecurityException before any byte of the file is interpreted.
+const SecureLoaderClass = "it.necst.grabnrun.SecureDexClassLoader"
+
+func (m *VM) sysSecureDexClassLoaderInit(args []Value) (Value, bool, error) {
+	self := argRef(args, 0)
+	if self == nil {
+		return Null, true, fmt.Errorf("%w: SecureDexClassLoader.<init> without receiver", ErrAppCrash)
+	}
+	dexPath := argString(args, 1)
+	optDir := argString(args, 2)
+	expected := strings.ToLower(argString(args, 5))
+	m.Hooks.OnClassLoaderInit(LoaderDex, dexPath, optDir, m.StackTrace())
+	for _, path := range strings.Split(dexPath, ":") {
+		if path == "" {
+			continue
+		}
+		data, err := m.Device.Storage.ReadFile(path)
+		if err != nil {
+			return Null, true, fmt.Errorf("%w: %v", ErrAppCrash, err)
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != expected {
+			return Null, true, fmt.Errorf("%w: SecurityException: %s digest %s does not match pinned %s",
+				ErrAppCrash, path, got[:12], truncDigest(expected))
+		}
+	}
+	cl, err := m.newClassLoader(LoaderDex, dexPath, optDir, parentLoader(args, 4))
+	if err != nil {
+		return Null, true, fmt.Errorf("%w: %v", ErrAppCrash, err)
+	}
+	self.Native = cl
+	return Null, true, nil
+}
+
+func truncDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
+}

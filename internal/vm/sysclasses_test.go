@@ -1,0 +1,322 @@
+package vm
+
+import (
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/netsim"
+)
+
+// buildAndRun installs a one-activity app whose onCreate is supplied by
+// the caller, runs it, and returns the VM.
+func buildAndRun(t *testing.T, pkg string, dev *android.Device, net *netsim.Network,
+	build func(*dex.MethodBuilder)) *VM {
+	t.Helper()
+	b := dex.NewBuilder()
+	m := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 12, "V", "Landroid/os/Bundle;")
+	build(m)
+	m.ReturnVoid().Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	vmach, err := New(dev, net, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vmach.LaunchApp(); err != nil {
+		t.Fatalf("LaunchApp: %v", err)
+	}
+	return vmach
+}
+
+func staticOf(m *VM, key string) Value { return m.statics[key] }
+
+func TestURLOpenStreamShortcut(t *testing.T) {
+	dev := android.NewDevice()
+	net := netsim.NewNetwork()
+	net.Serve("http://cdn.example/x.bin", netsim.Payload{Data: []byte("abcdef")})
+	pkg := "com.sys.url"
+	m := buildAndRun(t, pkg, dev, net, func(mb *dex.MethodBuilder) {
+		mb.NewInstance(1, "java.net.URL").
+			ConstString(2, "http://cdn.example/x.bin").
+			InvokeDirect(dex.MethodRef{Class: "java.net.URL", Name: "<init>",
+				Sig: "(Ljava/lang/String;)V"}, 1, 2).
+			InvokeVirtual(dex.MethodRef{Class: "java.net.URL", Name: "openStream",
+				Sig: "()Ljava/io/InputStream;"}, 1).
+			MoveResult(3).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.InputStream", Name: "readAll",
+				Sig: "()[B"}, 3).
+			MoveResult(4).
+			NewInstance(5, "java.io.FileOutputStream").
+			ConstString(6, android.InternalDir(pkg)+"files/x.bin").
+			InvokeDirect(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "<init>",
+				Sig: "(Ljava/lang/String;)V"}, 5, 6).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "write",
+				Sig: "([B)V"}, 5, 4).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "close",
+				Sig: "()V"}, 5)
+	})
+	data, err := dev.Storage.ReadFile(android.InternalDir(pkg) + "files/x.bin")
+	if err != nil || string(data) != "abcdef" {
+		t.Fatalf("download = %q err %v", data, err)
+	}
+	_ = m
+}
+
+func TestBufferedAndByteArrayStreams(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.sys.streams"
+	src := android.InternalDir(pkg) + "files/in.bin"
+	if err := dev.Storage.WriteFile(src, []byte("payload"), pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	m := buildAndRun(t, pkg, dev, nil, func(mb *dex.MethodBuilder) {
+		mb. // FileInputStream wrapped in BufferedInputStream
+			NewInstance(1, "java.io.FileInputStream").
+			ConstString(2, src).
+			InvokeDirect(dex.MethodRef{Class: "java.io.FileInputStream", Name: "<init>",
+				Sig: "(Ljava/lang/String;)V"}, 1, 2).
+			NewInstance(3, "java.io.BufferedInputStream").
+			InvokeDirect(dex.MethodRef{Class: "java.io.BufferedInputStream", Name: "<init>",
+				Sig: "(Ljava/io/InputStream;)V"}, 3, 1).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.BufferedInputStream", Name: "readAll",
+				Sig: "()[B"}, 3).
+			MoveResult(4).
+			// ByteArrayInputStream over the buffer, read again
+			NewInstance(5, "java.io.ByteArrayInputStream").
+			InvokeDirect(dex.MethodRef{Class: "java.io.ByteArrayInputStream", Name: "<init>",
+				Sig: "([B)V"}, 5, 4).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.ByteArrayInputStream", Name: "readAll",
+				Sig: "()[B"}, 5).
+			MoveResult(6).
+			// write out
+			NewInstance(7, "java.io.FileOutputStream").
+			ConstString(8, android.InternalDir(pkg)+"files/out.bin").
+			InvokeDirect(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "<init>",
+				Sig: "(Ljava/lang/String;)V"}, 7, 8).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "write",
+				Sig: "([B)V"}, 7, 6).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "close",
+				Sig: "()V"}, 7)
+	})
+	data, err := dev.Storage.ReadFile(android.InternalDir(pkg) + "files/out.bin")
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("round-trip = %q err %v", data, err)
+	}
+	_ = m
+}
+
+func TestFileHelpers(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.sys.file"
+	p := android.InternalDir(pkg) + "files/a.txt"
+	if err := dev.Storage.WriteFile(p, []byte("12345"), pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	m := buildAndRun(t, pkg, dev, nil, func(mb *dex.MethodBuilder) {
+		fld := func(name string) dex.FieldRef {
+			return dex.FieldRef{Class: pkg + ".Main", Name: name, Type: "I"}
+		}
+		mb.NewInstance(1, "java.io.File").
+			ConstString(2, p).
+			InvokeDirect(dex.MethodRef{Class: "java.io.File", Name: "<init>",
+				Sig: "(Ljava/lang/String;)V"}, 1, 2).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.File", Name: "exists", Sig: "()Z"}, 1).
+			MoveResult(3).
+			SPut(3, fld("exists")).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.File", Name: "length", Sig: "()J"}, 1).
+			MoveResult(4).
+			SPut(4, fld("length")).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.File", Name: "getPath",
+				Sig: "()Ljava/lang/String;"}, 1).
+			MoveResult(5).
+			SPut(5, dex.FieldRef{Class: pkg + ".Main", Name: "path", Type: "Ljava/lang/String;"}).
+			// rename to b.txt via a File target
+			NewInstance(6, "java.io.File").
+			ConstString(7, android.InternalDir(pkg)+"files/b.txt").
+			InvokeDirect(dex.MethodRef{Class: "java.io.File", Name: "<init>",
+				Sig: "(Ljava/lang/String;)V"}, 6, 7).
+			InvokeVirtual(dex.MethodRef{Class: "java.io.File", Name: "renameTo",
+				Sig: "(Ljava/io/File;)Z"}, 1, 6).
+			MoveResult(8).
+			SPut(8, fld("renamed"))
+	})
+	if staticOf(m, pkg+".Main.exists").AsInt() != 1 {
+		t.Fatal("exists = false")
+	}
+	if staticOf(m, pkg+".Main.length").AsInt() != 5 {
+		t.Fatalf("length = %v", staticOf(m, pkg+".Main.length"))
+	}
+	if staticOf(m, pkg+".Main.path").AsString() != p {
+		t.Fatalf("path = %v", staticOf(m, pkg+".Main.path"))
+	}
+	if staticOf(m, pkg+".Main.renamed").AsInt() != 1 {
+		t.Fatal("rename failed")
+	}
+	if dev.Storage.Exists(p) || !dev.Storage.Exists(android.InternalDir(pkg)+"files/b.txt") {
+		t.Fatal("rename did not move the file")
+	}
+}
+
+func TestPrivacyGettersAndSettings(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.sys.priv"
+	m := buildAndRun(t, pkg, dev, nil, func(mb *dex.MethodBuilder) {
+		put := func(reg int, name string) {
+			mb.MoveResult(reg)
+			mb.SPut(reg, dex.FieldRef{Class: pkg + ".Main", Name: name, Type: "Ljava/lang/String;"})
+		}
+		mb.NewInstance(1, "android.telephony.TelephonyManager")
+		mb.InvokeVirtual(dex.MethodRef{Class: "android.telephony.TelephonyManager",
+			Name: "getSubscriberId", Sig: "()Ljava/lang/String;"}, 1)
+		put(2, "imsi")
+		mb.InvokeVirtual(dex.MethodRef{Class: "android.telephony.TelephonyManager",
+			Name: "getSimSerialNumber", Sig: "()Ljava/lang/String;"}, 1)
+		put(3, "iccid")
+		mb.InvokeVirtual(dex.MethodRef{Class: "android.telephony.TelephonyManager",
+			Name: "getLine1Number", Sig: "()Ljava/lang/String;"}, 1)
+		put(4, "number")
+		mb.NewInstance(5, "android.accounts.AccountManager")
+		mb.InvokeVirtual(dex.MethodRef{Class: "android.accounts.AccountManager",
+			Name: "getAccounts", Sig: "()[Landroid/accounts/Account;"}, 5)
+		put(6, "accounts")
+		mb.NewInstance(7, "android.content.pm.PackageManager")
+		mb.InvokeVirtual(dex.MethodRef{Class: "android.content.pm.PackageManager",
+			Name: "getInstalledPackages", Sig: "(I)Ljava/util/List;"}, 7)
+		put(8, "pkgs")
+		mb.ConstString(9, "airplane_mode_on")
+		mb.InvokeStatic(dex.MethodRef{Class: "android.provider.Settings",
+			Name: "getInt", Sig: "(Ljava/lang/String;)I"}, 9)
+		put(10, "airplane")
+		mb.NewInstance(9, "android.content.ContentResolver")
+		mb.ConstString(11, "content://call_log/calls")
+		mb.InvokeVirtual(dex.MethodRef{Class: "android.content.ContentResolver",
+			Name: "query", Sig: "(Landroid/net/Uri;)Landroid/database/Cursor;"}, 9, 11)
+		put(11, "calls")
+	})
+	checks := map[string]string{
+		"imsi":     dev.IMSI,
+		"iccid":    dev.ICCID,
+		"number":   dev.PhoneNumber,
+		"accounts": "user@example.com",
+		"airplane": "0",
+		"calls":    "cursor:CallLog",
+	}
+	for name, want := range checks {
+		if got := staticOf(m, pkg+".Main."+name).AsString(); got != want {
+			t.Fatalf("%s = %q, want %q", name, got, want)
+		}
+	}
+	if got := staticOf(m, pkg+".Main.pkgs").AsString(); got != pkg {
+		t.Fatalf("pkgs = %q", got)
+	}
+}
+
+func TestLocationDisabledReturnsNull(t *testing.T) {
+	dev := android.NewDevice()
+	dev.SetLocationEnabled(false)
+	pkg := "com.sys.loc"
+	m := buildAndRun(t, pkg, dev, nil, func(mb *dex.MethodBuilder) {
+		mb.NewInstance(1, "android.location.LocationManager").
+			ConstString(2, "gps").
+			InvokeVirtual(dex.MethodRef{Class: "android.location.LocationManager",
+				Name: "getLastKnownLocation",
+				Sig:  "(Ljava/lang/String;)Landroid/location/Location;"}, 1, 2).
+			MoveResult(3).
+			IfEqz(3, "null").
+			Const(4, 1).
+			SPut(4, dex.FieldRef{Class: pkg + ".Main", Name: "got", Type: "Z"}).
+			Label("null")
+	})
+	if staticOf(m, pkg+".Main.got").AsInt() != 0 {
+		t.Fatal("location returned despite disabled service")
+	}
+}
+
+func TestAdwareSinkEvents(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.sys.adware"
+	m := buildAndRun(t, pkg, dev, nil, func(mb *dex.MethodBuilder) {
+		mb.NewInstance(1, "android.app.NotificationManager").
+			ConstString(2, "Deals!").
+			InvokeVirtual(dex.MethodRef{Class: "android.app.NotificationManager",
+				Name: "notify", Sig: "(Ljava/lang/String;)V"}, 1, 2).
+			NewInstance(3, "android.app.ShortcutManager").
+			ConstString(4, "FreeStuff").
+			InvokeVirtual(dex.MethodRef{Class: "android.app.ShortcutManager",
+				Name: "addShortcut", Sig: "(Ljava/lang/String;)V"}, 3, 4).
+			ConstString(5, "http://ads.example/home").
+			InvokeStatic(dex.MethodRef{Class: "android.provider.Browser",
+				Name: "setHomepage", Sig: "(Ljava/lang/String;)V"}, 5).
+			InvokeStatic(dex.MethodRef{Class: "java.lang.Runtime",
+				Name: "getRuntime", Sig: "()Ljava/lang/Runtime;"}).
+			MoveResult(6).
+			ConstString(7, "su -c id").
+			InvokeVirtual(dex.MethodRef{Class: "java.lang.Runtime",
+				Name: "exec", Sig: "(Ljava/lang/String;)V"}, 6, 7)
+	})
+	kinds := map[string]bool{}
+	for _, ev := range m.Events() {
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{"notification-ad", "shortcut", "homepage", "exec"} {
+		if !kinds[want] {
+			t.Fatalf("missing event %s: %+v", want, m.Events())
+		}
+	}
+}
+
+func TestContextGetters(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.sys.ctx"
+	m := buildAndRun(t, pkg, dev, nil, func(mb *dex.MethodBuilder) {
+		put := func(reg int, name string) {
+			mb.MoveResult(reg)
+			mb.SPut(reg, dex.FieldRef{Class: pkg + ".Main", Name: name, Type: "Ljava/lang/String;"})
+		}
+		mb.InvokeVirtual(dex.MethodRef{Class: "android.content.Context",
+			Name: "getPackageName", Sig: "()Ljava/lang/String;"}, 0)
+		put(1, "pkg")
+		mb.InvokeVirtual(dex.MethodRef{Class: "android.content.Context",
+			Name: "getCacheDir", Sig: "()Ljava/io/File;"}, 0)
+		put(2, "cache")
+		mb.InvokeVirtual(dex.MethodRef{Class: "android.content.Context",
+			Name: "getFilesDir", Sig: "()Ljava/io/File;"}, 0)
+		put(3, "files")
+		mb.InvokeVirtual(dex.MethodRef{Class: "android.content.Context",
+			Name: "getExternalFilesDir", Sig: "()Ljava/io/File;"}, 0)
+		put(4, "ext")
+	})
+	if got := staticOf(m, pkg+".Main.pkg").AsString(); got != pkg {
+		t.Fatalf("pkg = %q", got)
+	}
+	if got := staticOf(m, pkg+".Main.cache").AsString(); got != android.InternalDir(pkg)+"cache" {
+		t.Fatalf("cache = %q", got)
+	}
+	if got := staticOf(m, pkg+".Main.files").AsString(); got != android.InternalDir(pkg)+"files" {
+		t.Fatalf("files = %q", got)
+	}
+	if got := staticOf(m, pkg+".Main.ext").AsString(); got != android.ExternalRoot+"Android/data/"+pkg {
+		t.Fatalf("ext = %q", got)
+	}
+}
+
+func TestAirplaneSettingVisible(t *testing.T) {
+	dev := android.NewDevice()
+	dev.SetAirplaneMode(true)
+	pkg := "com.sys.airp"
+	m := buildAndRun(t, pkg, dev, nil, func(mb *dex.MethodBuilder) {
+		mb.ConstString(1, "airplane_mode_on").
+			InvokeStatic(dex.MethodRef{Class: "android.provider.Settings",
+				Name: "getInt", Sig: "(Ljava/lang/String;)I"}, 1).
+			MoveResult(2).
+			SPut(2, dex.FieldRef{Class: pkg + ".Main", Name: "mode", Type: "I"})
+	})
+	if staticOf(m, pkg+".Main.mode").AsInt() != 1 {
+		t.Fatal("airplane setting not visible to apps")
+	}
+}

@@ -1,0 +1,153 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind tags a Value.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindString
+	KindRef
+	KindArray
+)
+
+// Value is one VM register or field value. Strings are modeled as
+// primitive values (rather than heap objects) because every analysis that
+// touches them — path extraction, URL tracking, taint — cares about the
+// contents, not the identity.
+type Value struct {
+	Kind Kind
+	Int  int64
+	Str  string
+	Ref  *Object
+	Arr  *Array
+}
+
+// Null is the null value.
+var Null = Value{Kind: KindNull}
+
+// IntVal wraps an integer.
+func IntVal(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// StrVal wraps a string.
+func StrVal(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// RefVal wraps an object reference.
+func RefVal(o *Object) Value {
+	if o == nil {
+		return Null
+	}
+	return Value{Kind: KindRef, Ref: o}
+}
+
+// ArrVal wraps an array reference.
+func ArrVal(a *Array) Value {
+	if a == nil {
+		return Null
+	}
+	return Value{Kind: KindArray, Arr: a}
+}
+
+// Truthy reports whether the value is "non-zero" for if-eqz/if-nez:
+// non-zero ints, non-empty strings, and any non-null reference.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindInt:
+		return v.Int != 0
+	case KindString:
+		return v.Str != ""
+	case KindRef, KindArray:
+		return true
+	default:
+		return false
+	}
+}
+
+// AsInt coerces to an integer (null -> 0, string -> parsed or 0).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt:
+		return v.Int
+	case KindString:
+		n, _ := strconv.ParseInt(v.Str, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// AsString coerces to a string.
+func (v Value) AsString() string {
+	switch v.Kind {
+	case KindString:
+		return v.Str
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindRef:
+		return v.Ref.Class + "@" + strconv.FormatInt(int64(v.Ref.Hash), 16)
+	case KindArray:
+		return fmt.Sprintf("array[%d]", len(v.Arr.Elems))
+	default:
+		return ""
+	}
+}
+
+// Equal compares two values for the if-eq/if-ne instructions.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		// int 0 equals null for branch purposes
+		return (v.Kind == KindNull && o.Kind == KindInt && o.Int == 0) ||
+			(o.Kind == KindNull && v.Kind == KindInt && v.Int == 0)
+	}
+	switch v.Kind {
+	case KindInt:
+		return v.Int == o.Int
+	case KindString:
+		return v.Str == o.Str
+	case KindRef:
+		return v.Ref == o.Ref
+	case KindArray:
+		return v.Arr == o.Arr
+	default:
+		return true // null == null
+	}
+}
+
+// Object is a heap object: an instance of an app class or a system class.
+// System-class instances carry their Go backing value in Native.
+type Object struct {
+	Class  string
+	Hash   int
+	Fields map[string]Value
+	// Native holds the backing Go value for system objects (for example a
+	// *netsim.InputStream, a *ClassLoader or an activity record).
+	Native any
+}
+
+// Array is a fixed-length value array.
+type Array struct {
+	Elems []Value
+	Hash  int
+}
+
+// Field reads a field (zero Value when unset).
+func (o *Object) Field(name string) Value {
+	if o.Fields == nil {
+		return Null
+	}
+	return o.Fields[name]
+}
+
+// SetField writes a field.
+func (o *Object) SetField(name string, v Value) {
+	if o.Fields == nil {
+		o.Fields = make(map[string]Value)
+	}
+	o.Fields[name] = v
+}

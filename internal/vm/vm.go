@@ -1,0 +1,368 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/netsim"
+)
+
+// VM errors. App-level failures (crashes) wrap ErrAppCrash so the
+// pipeline can classify them into Table II's Crash row.
+var (
+	// ErrAppCrash marks an unhandled application exception or fault.
+	ErrAppCrash = errors.New("vm: application crash")
+	// ErrBudget marks step-budget exhaustion in app code.
+	ErrBudget = errors.New("vm: execution budget exhausted")
+)
+
+// DefaultStepBudget bounds interpreted instructions per top-level
+// invocation.
+const DefaultStepBudget = 1 << 20
+
+// Event is a runtime behaviour record (transmissions, ads, root attempts)
+// surfaced for reporting and examples.
+type Event struct {
+	Kind   string // e.g. "transmit", "sms", "notification-ad", "root", "ptrace", "shortcut", "homepage"
+	Detail string
+	Data   string
+}
+
+// VM executes one application's bytecode within a device. It is not safe
+// for concurrent use; run one app per VM.
+type VM struct {
+	Device  *android.Device
+	Network *netsim.Network
+	Hooks   Hooks
+	Factory *netsim.Factory
+
+	App     *android.InstalledApp
+	Process *android.Process
+
+	StepBudget int
+
+	bootClasses map[string]*dex.Class
+	loaders     []*ClassLoader
+	nativeLibs  []*loadedLib
+	frames      []StackElement
+	statics     map[string]Value // "Class.field" -> value
+	nextHash    int
+	lastResult  Value
+	events      []Event
+	fds         map[int64]*fdEntry
+	nextFD      int64
+	steps       int
+}
+
+type fdEntry struct {
+	path  string
+	data  []byte
+	pos   int64
+	dirty bool
+}
+
+// New creates a VM for the installed app. recorder may be nil (no
+// download tracking); hooks may be nil (no DCL instrumentation).
+func New(dev *android.Device, net *netsim.Network, app *android.InstalledApp, hooks Hooks, recorder netsim.Recorder) (*VM, error) {
+	if hooks == nil {
+		hooks = NopHooks{}
+	}
+	m := &VM{
+		Device:      dev,
+		Network:     net,
+		Hooks:       hooks,
+		Factory:     netsim.NewFactory(recorder),
+		App:         app,
+		StepBudget:  DefaultStepBudget,
+		bootClasses: make(map[string]*dex.Class),
+		statics:     make(map[string]Value),
+		nextHash:    0x4000,
+		fds:         make(map[int64]*fdEntry),
+		nextFD:      3,
+	}
+	if app.APK.Dex != nil {
+		df, err := dex.Decode(app.APK.Dex)
+		if err != nil {
+			return nil, fmt.Errorf("vm: app %s: %w", app.Package, err)
+		}
+		for _, c := range df.Classes {
+			m.bootClasses[c.Name] = c
+		}
+	}
+	m.Process = dev.StartProcess(app.Package, 10000+len(app.Package))
+	return m, nil
+}
+
+// Events returns runtime behaviour events recorded so far.
+func (m *VM) Events() []Event { return append([]Event(nil), m.events...) }
+
+func (m *VM) event(kind, detail, data string) {
+	m.events = append(m.events, Event{Kind: kind, Detail: detail, Data: data})
+}
+
+// Loaders returns the class loaders created during execution.
+func (m *VM) Loaders() []*ClassLoader { return append([]*ClassLoader(nil), m.loaders...) }
+
+// StackTrace returns the current Java stack trace, innermost frame first —
+// matching Throwable.getStackTrace order, where element [0] is the code
+// that called into the framework (paper Fig. 2's call-site element).
+func (m *VM) StackTrace() []StackElement {
+	out := make([]StackElement, 0, len(m.frames))
+	for i := len(m.frames) - 1; i >= 0; i-- {
+		out = append(out, m.frames[i])
+	}
+	return out
+}
+
+func (m *VM) newObject(class string) *Object {
+	m.nextHash++
+	return &Object{Class: class, Hash: m.nextHash}
+}
+
+func (m *VM) newArray(n int) *Array {
+	m.nextHash++
+	return &Array{Elems: make([]Value, n), Hash: m.nextHash}
+}
+
+// resolveClass finds a class definition by name: app classes first, then
+// classes defined by any loader created at runtime.
+func (m *VM) resolveClass(name string) *dex.Class {
+	if c, ok := m.bootClasses[name]; ok {
+		return c
+	}
+	for _, cl := range m.loaders {
+		if c, ok := cl.classes[name]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// resolveMethod finds the method body for a call: walk the dynamic class
+// and its superclasses, then fall back to the static reference class.
+func (m *VM) resolveMethod(dynClass string, ref dex.MethodRef) (*dex.Class, *dex.Method) {
+	for name := dynClass; name != ""; {
+		c := m.resolveClass(name)
+		if c == nil {
+			break
+		}
+		if mm := c.FindMethod(ref.Name, ref.Sig); mm != nil {
+			return c, mm
+		}
+		name = c.Super
+	}
+	if c := m.resolveClass(ref.Class); c != nil {
+		if mm := c.FindMethod(ref.Name, ref.Sig); mm != nil {
+			return c, mm
+		}
+	}
+	return nil, nil
+}
+
+// InvokeMethod runs a method by class and name with the given arguments
+// (for instance methods args[0] is the receiver). It is the entry point
+// the framework and the monkey use to drive components.
+func (m *VM) InvokeMethod(className, methodName string, args ...Value) (Value, error) {
+	m.steps = 0
+	ref := dex.MethodRef{Class: className, Name: methodName}
+	return m.invoke(className, ref, args)
+}
+
+// invoke dispatches a call: system classes go to the native
+// implementations; app/loaded classes are interpreted; ACC_NATIVE methods
+// go through JNI.
+func (m *VM) invoke(dynClass string, ref dex.MethodRef, args []Value) (Value, error) {
+	if v, handled, err := m.systemInvoke(ref, args); handled {
+		return v, err
+	}
+	cls, method := m.resolveMethod(dynClass, ref)
+	if method == nil {
+		return Null, fmt.Errorf("%w: no such method %s.%s%s", ErrAppCrash, ref.Class, ref.Name, ref.Sig)
+	}
+	if method.Flags&dex.ACCNative != 0 {
+		return m.jniInvoke(cls, method, args)
+	}
+	return m.interpret(cls, method, args)
+}
+
+// interpret executes a bytecode method body.
+func (m *VM) interpret(cls *dex.Class, method *dex.Method, args []Value) (Value, error) {
+	if len(m.frames) > 128 {
+		return Null, fmt.Errorf("%w: stack overflow in %s.%s", ErrAppCrash, cls.Name, method.Name)
+	}
+	m.frames = append(m.frames, StackElement{Class: cls.Name, Method: method.Name})
+	defer func() { m.frames = m.frames[:len(m.frames)-1] }()
+
+	regs := make([]Value, method.Registers)
+	// Calling convention: arguments land in the first registers.
+	for i, a := range args {
+		if i < len(regs) {
+			regs[i] = a
+		}
+	}
+	pc := 0
+	for pc < len(method.Code) {
+		if m.steps++; m.steps > m.StepBudget {
+			return Null, fmt.Errorf("%w in %s.%s", ErrBudget, cls.Name, method.Name)
+		}
+		in := method.Code[pc]
+		switch in.Op {
+		case dex.OpNop:
+		case dex.OpConst:
+			regs[in.A] = IntVal(in.Value)
+		case dex.OpConstString:
+			regs[in.A] = StrVal(in.Str)
+		case dex.OpMove:
+			regs[in.A] = regs[in.B]
+		case dex.OpMoveResult:
+			regs[in.A] = m.lastResult
+		case dex.OpNewInstance:
+			regs[in.A] = RefVal(m.newObject(in.Str))
+		case dex.OpNewArray:
+			n := int(regs[in.B].AsInt())
+			if n < 0 || n > 1<<20 {
+				return Null, fmt.Errorf("%w: new-array length %d in %s.%s", ErrAppCrash, n, cls.Name, method.Name)
+			}
+			regs[in.A] = ArrVal(m.newArray(n))
+		case dex.OpIGet:
+			obj := regs[in.B]
+			if obj.Kind != KindRef {
+				return Null, fmt.Errorf("%w: iget on non-object in %s.%s", ErrAppCrash, cls.Name, method.Name)
+			}
+			regs[in.A] = obj.Ref.Field(in.Field.Name)
+		case dex.OpIPut:
+			obj := regs[in.B]
+			if obj.Kind != KindRef {
+				return Null, fmt.Errorf("%w: iput on non-object in %s.%s", ErrAppCrash, cls.Name, method.Name)
+			}
+			obj.Ref.SetField(in.Field.Name, regs[in.A])
+		case dex.OpSGet:
+			regs[in.A] = m.statics[in.Field.Class+"."+in.Field.Name]
+		case dex.OpSPut:
+			m.statics[in.Field.Class+"."+in.Field.Name] = regs[in.A]
+		case dex.OpAdd:
+			regs[in.A] = m.binOp(regs[in.B], regs[in.C], '+')
+		case dex.OpSub:
+			regs[in.A] = IntVal(regs[in.B].AsInt() - regs[in.C].AsInt())
+		case dex.OpMul:
+			regs[in.A] = IntVal(regs[in.B].AsInt() * regs[in.C].AsInt())
+		case dex.OpDiv:
+			d := regs[in.C].AsInt()
+			if d == 0 {
+				return Null, fmt.Errorf("%w: division by zero in %s.%s", ErrAppCrash, cls.Name, method.Name)
+			}
+			regs[in.A] = IntVal(regs[in.B].AsInt() / d)
+		case dex.OpXor:
+			regs[in.A] = IntVal(regs[in.B].AsInt() ^ regs[in.C].AsInt())
+		case dex.OpIfEq:
+			if regs[in.A].Equal(regs[in.B]) {
+				pc = in.Target
+				continue
+			}
+		case dex.OpIfNe:
+			if !regs[in.A].Equal(regs[in.B]) {
+				pc = in.Target
+				continue
+			}
+		case dex.OpIfLt:
+			if regs[in.A].AsInt() < regs[in.B].AsInt() {
+				pc = in.Target
+				continue
+			}
+		case dex.OpIfGe:
+			if regs[in.A].AsInt() >= regs[in.B].AsInt() {
+				pc = in.Target
+				continue
+			}
+		case dex.OpIfEqz:
+			if !regs[in.A].Truthy() {
+				pc = in.Target
+				continue
+			}
+		case dex.OpIfNez:
+			if regs[in.A].Truthy() {
+				pc = in.Target
+				continue
+			}
+		case dex.OpGoto:
+			pc = in.Target
+			continue
+		case dex.OpReturn:
+			return regs[in.A], nil
+		case dex.OpReturnVoid:
+			return Null, nil
+		case dex.OpThrow:
+			return Null, fmt.Errorf("%w: %s thrown in %s.%s", ErrAppCrash, regs[in.A].AsString(), cls.Name, method.Name)
+		case dex.OpArrayGet:
+			arr, idx := regs[in.B], regs[in.C].AsInt()
+			if arr.Kind != KindArray || idx < 0 || idx >= int64(len(arr.Arr.Elems)) {
+				return Null, fmt.Errorf("%w: array index %d out of bounds in %s.%s", ErrAppCrash, idx, cls.Name, method.Name)
+			}
+			regs[in.A] = arr.Arr.Elems[idx]
+		case dex.OpArrayPut:
+			arr, idx := regs[in.B], regs[in.C].AsInt()
+			if arr.Kind != KindArray || idx < 0 || idx >= int64(len(arr.Arr.Elems)) {
+				return Null, fmt.Errorf("%w: array index %d out of bounds in %s.%s", ErrAppCrash, idx, cls.Name, method.Name)
+			}
+			arr.Arr.Elems[idx] = regs[in.A]
+		case dex.OpArrayLength:
+			if regs[in.B].Kind != KindArray {
+				return Null, fmt.Errorf("%w: array-length on non-array in %s.%s", ErrAppCrash, cls.Name, method.Name)
+			}
+			regs[in.A] = IntVal(int64(len(regs[in.B].Arr.Elems)))
+		case dex.OpCheckCast:
+			// No-op at runtime (type fidelity only).
+		case dex.OpInstanceOf:
+			v := regs[in.B]
+			regs[in.A] = IntVal(0)
+			if v.Kind == KindRef && m.isInstance(v.Ref.Class, in.Str) {
+				regs[in.A] = IntVal(1)
+			}
+		default:
+			if in.Op.IsInvoke() {
+				callArgs := make([]Value, len(in.Args))
+				for i, r := range in.Args {
+					callArgs[i] = regs[r]
+				}
+				dyn := in.Method.Class
+				if in.Op != dex.OpInvokeStatic && len(callArgs) > 0 && callArgs[0].Kind == KindRef {
+					dyn = callArgs[0].Ref.Class
+				}
+				res, err := m.invoke(dyn, in.Method, callArgs)
+				if err != nil {
+					return Null, err
+				}
+				m.lastResult = res
+			} else {
+				return Null, fmt.Errorf("%w: invalid opcode %d in %s.%s", ErrAppCrash, in.Op, cls.Name, method.Name)
+			}
+		}
+		pc++
+	}
+	return Null, nil
+}
+
+// binOp implements add with string-concatenation semantics when either
+// side is a string (the javac "+" lowering).
+func (m *VM) binOp(a, b Value, op byte) Value {
+	if op == '+' && (a.Kind == KindString || b.Kind == KindString) {
+		return StrVal(a.AsString() + b.AsString())
+	}
+	return IntVal(a.AsInt() + b.AsInt())
+}
+
+func (m *VM) isInstance(class, target string) bool {
+	for name := class; name != ""; {
+		if name == target {
+			return true
+		}
+		c := m.resolveClass(name)
+		if c == nil {
+			return false
+		}
+		name = c.Super
+	}
+	return false
+}

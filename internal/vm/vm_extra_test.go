@@ -1,0 +1,395 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/nativebin"
+)
+
+func TestPathClassLoaderHook(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.test.pathloader"
+	payloadPath := android.InternalDir(pkg) + "files/extra.dex"
+
+	b := dex.NewBuilder()
+	m := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m.ConstString(1, payloadPath).
+		NewInstance(2, string(LoaderPath)).
+		InvokeDirect(dex.MethodRef{Class: string(LoaderPath), Name: "<init>",
+			Sig: "(Ljava/lang/String;Ljava/lang/ClassLoader;)V"}, 2, 1, 0).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	if err := dev.Storage.WriteFile(payloadPath, payloadDex(t), pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	hooks := &recHooks{}
+	m2, err := New(dev, nil, app, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.LaunchApp(); err != nil {
+		t.Fatalf("LaunchApp: %v", err)
+	}
+	if len(hooks.loaderInits) != 1 || hooks.loaderInits[0].kind != LoaderPath {
+		t.Fatalf("hooks = %+v", hooks.loaderInits)
+	}
+	// PathClassLoader has no optimized dir.
+	if hooks.loaderInits[0].optDir != "" {
+		t.Fatalf("optDir = %q", hooks.loaderInits[0].optDir)
+	}
+}
+
+func TestRuntimeLoad0ARTVariant(t *testing.T) {
+	// The paper notes ART only adds load0; the hook layer must cover it.
+	nb := nativebin.NewBuilder("libart.so", "arm")
+	nb.Symbol("JNI_OnLoad").MovI(0, 0).Ret()
+	libBytes, err := nativebin.Encode(nb.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := android.NewDevice()
+	pkg := "com.test.art"
+	libPath := android.InternalDir(pkg) + "files/libart.so"
+
+	b := dex.NewBuilder()
+	m := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m.InvokeStatic(dex.MethodRef{Class: "java.lang.Runtime", Name: "getRuntime",
+		Sig: "()Ljava/lang/Runtime;"}).
+		MoveResult(1).
+		ConstString(2, libPath).
+		InvokeVirtual(dex.MethodRef{Class: "java.lang.Runtime", Name: "load0",
+			Sig: "(Ljava/lang/String;)V"}, 1, 2).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	if err := dev.Storage.WriteFile(libPath, libBytes, pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	hooks := &recHooks{}
+	m2, err := New(dev, nil, app, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.LaunchApp(); err != nil {
+		t.Fatalf("LaunchApp: %v", err)
+	}
+	if len(hooks.nativeLoads) != 1 || hooks.nativeLoads[0].api != LoadZero ||
+		hooks.nativeLoads[0].path != libPath {
+		t.Fatalf("native loads = %+v", hooks.nativeLoads)
+	}
+}
+
+func TestMultiFileDexPath(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.test.multi"
+	p1 := android.InternalDir(pkg) + "files/a.dex"
+	p2 := android.InternalDir(pkg) + "files/b.dex"
+
+	mk := func(class string) []byte {
+		b := dex.NewBuilder()
+		b.Class(class, "java.lang.Object").
+			Method("f", dex.ACCPublic, 1, "V").ReturnVoid().Done()
+		data, err := dex.Encode(b.File())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if err := dev.Storage.WriteFile(p1, mk("com.pay.A"), pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Storage.WriteFile(p2, mk("com.pay.B"), pkg, false); err != nil {
+		t.Fatal(err)
+	}
+
+	b := dex.NewBuilder()
+	m := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m.ConstString(1, p1+":"+p2).
+		ConstString(2, android.InternalDir(pkg)+"odex").
+		NewInstance(3, string(LoaderDex)).
+		InvokeDirect(dex.MethodRef{Class: string(LoaderDex), Name: "<init>",
+			Sig: "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/ClassLoader;)V"},
+			3, 1, 2, 0, 0).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	m2, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.LaunchApp(); err != nil {
+		t.Fatal(err)
+	}
+	loaders := m2.Loaders()
+	if len(loaders) != 1 {
+		t.Fatalf("loaders = %d", len(loaders))
+	}
+	cl := loaders[0]
+	if cl.FindClass("com.pay.A") == nil || cl.FindClass("com.pay.B") == nil {
+		t.Fatal("classes from both dexPath entries not loaded")
+	}
+	// Both files optimized into the odex dir.
+	if got := dev.Storage.List(android.InternalDir(pkg) + "odex/"); len(got) != 2 {
+		t.Fatalf("odex outputs = %v", got)
+	}
+}
+
+func TestReflectionRuntime(t *testing.T) {
+	// Class.forName + getMethod + Method.invoke — the packer lifecycle
+	// construction path.
+	dev := android.NewDevice()
+	pkg := "com.test.refl"
+
+	b := dex.NewBuilder()
+	target := b.Class(pkg+".Hidden", "java.lang.Object")
+	tm := target.Method("secret", dex.ACCPublic, 2, "I")
+	tm.Const(1, 99).Return(1).Done()
+
+	m := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 8, "V", "Landroid/os/Bundle;")
+	m.ConstString(1, pkg+".Hidden").
+		InvokeStatic(dex.MethodRef{Class: "java.lang.Class", Name: "forName",
+			Sig: "(Ljava/lang/String;)Ljava/lang/Class;"}, 1).
+		MoveResult(2).
+		InvokeVirtual(dex.MethodRef{Class: "java.lang.Class", Name: "newInstance",
+			Sig: "()Ljava/lang/Object;"}, 2).
+		MoveResult(3).
+		ConstString(4, "secret").
+		InvokeVirtual(dex.MethodRef{Class: "java.lang.Class", Name: "getMethod",
+			Sig: "(Ljava/lang/String;)Ljava/lang/reflect/Method;"}, 2, 4).
+		MoveResult(5).
+		InvokeVirtual(dex.MethodRef{Class: "java.lang.reflect.Method", Name: "invoke",
+			Sig: "(Ljava/lang/Object;)Ljava/lang/Object;"}, 5, 3).
+		MoveResult(6).
+		SPut(6, dex.FieldRef{Class: pkg + ".Main", Name: "result", Type: "I"}).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	m2, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.LaunchApp(); err != nil {
+		t.Fatalf("LaunchApp: %v", err)
+	}
+	if got := m2.statics[pkg+".Main.result"]; got.AsInt() != 99 {
+		t.Fatalf("reflective invoke = %v, want 99", got)
+	}
+}
+
+func TestChainedDCLLoadedCodeLoadsMore(t *testing.T) {
+	// Stage-1 payload itself performs DCL of a stage-2 payload: both hook
+	// events fire, and the stack trace of the second names the stage-1
+	// class as the call site.
+	dev := android.NewDevice()
+	pkg := "com.test.chain"
+	p1 := android.InternalDir(pkg) + "cache/stage1.dex"
+	p2 := android.InternalDir(pkg) + "cache/stage2.dex"
+
+	// Stage 2: trivial.
+	b2 := dex.NewBuilder()
+	b2.Class("com.stage2.Final", "java.lang.Object").
+		Method("f", dex.ACCPublic, 1, "V").ReturnVoid().Done()
+	stage2, _ := dex.Encode(b2.File())
+
+	// Stage 1: loads stage 2 in its run().
+	b1 := dex.NewBuilder()
+	m1 := b1.Class("com.stage1.Loader", "java.lang.Object").
+		Method("run", dex.ACCPublic, 6, "V")
+	m1.ConstString(1, p2).
+		ConstString(2, android.InternalDir(pkg)+"odex").
+		NewInstance(3, string(LoaderDex)).
+		InvokeDirect(dex.MethodRef{Class: string(LoaderDex), Name: "<init>",
+			Sig: "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/ClassLoader;)V"},
+			3, 1, 2, 0, 0).
+		ReturnVoid().Done()
+	stage1, _ := dex.Encode(b1.File())
+
+	if err := dev.Storage.WriteFile(p1, stage1, pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Storage.WriteFile(p2, stage2, pkg, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Host: loads stage 1, instantiates its loader class, calls run().
+	b := dex.NewBuilder()
+	m := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 8, "V", "Landroid/os/Bundle;")
+	m.ConstString(1, p1).
+		ConstString(2, android.InternalDir(pkg)+"odex").
+		NewInstance(3, string(LoaderDex)).
+		InvokeDirect(dex.MethodRef{Class: string(LoaderDex), Name: "<init>",
+			Sig: "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/ClassLoader;)V"},
+			3, 1, 2, 0, 0).
+		NewInstance(4, "com.stage1.Loader").
+		InvokeVirtual(dex.MethodRef{Class: "com.stage1.Loader", Name: "run", Sig: "()V"}, 4).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	hooks := &recHooks{}
+	m2, err := New(dev, nil, app, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.LaunchApp(); err != nil {
+		t.Fatalf("LaunchApp: %v", err)
+	}
+	if len(hooks.loaderInits) != 2 {
+		t.Fatalf("loader inits = %d", len(hooks.loaderInits))
+	}
+	if hooks.loaderInits[0].stack[0].Class != pkg+".Main" {
+		t.Fatalf("stage1 call site = %s", hooks.loaderInits[0].stack[0].Class)
+	}
+	if hooks.loaderInits[1].stack[0].Class != "com.stage1.Loader" {
+		t.Fatalf("stage2 call site = %s", hooks.loaderInits[1].stack[0].Class)
+	}
+}
+
+func TestStackTraceShape(t *testing.T) {
+	// Nested app calls produce a well-formed innermost-first trace.
+	dev := android.NewDevice()
+	pkg := "com.test.stack"
+	b := dex.NewBuilder()
+	cls := b.Class(pkg+".Main", "android.app.Activity")
+	m := cls.Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m.InvokeVirtual(dex.MethodRef{Class: pkg + ".Main", Name: "level1", Sig: "()V"}, 0).
+		ReturnVoid().Done()
+	l1 := cls.Method("level1", dex.ACCPublic, 4, "V")
+	l1.InvokeVirtual(dex.MethodRef{Class: pkg + ".Main", Name: "level2", Sig: "()V"}, 0).
+		ReturnVoid().Done()
+	l2 := cls.Method("level2", dex.ACCPublic, 4, "V")
+	l2.ConstString(1, "x").
+		NewInstance(2, string(LoaderDex)).
+		InvokeDirect(dex.MethodRef{Class: string(LoaderDex), Name: "<init>",
+			Sig: "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/ClassLoader;)V"},
+			2, 1, 1, 0, 0).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	hooks := &recHooks{}
+	m2, err := New(dev, nil, app, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The load fails (path "x" missing) — but the hook fired first.
+	_, lerr := m2.LaunchApp()
+	if lerr == nil {
+		t.Fatal("expected load failure")
+	}
+	if len(hooks.loaderInits) != 1 {
+		t.Fatalf("hook count = %d", len(hooks.loaderInits))
+	}
+	st := hooks.loaderInits[0].stack
+	if len(st) != 3 {
+		t.Fatalf("stack depth = %d: %+v", len(st), st)
+	}
+	wantMethods := []string{"level2", "level1", "onCreate"}
+	for i, want := range wantMethods {
+		if st[i].Method != want {
+			t.Fatalf("stack[%d] = %+v, want method %s", i, st[i], want)
+		}
+	}
+	if !strings.HasPrefix(st[0].Class, pkg) {
+		t.Fatalf("stack[0].Class = %s", st[0].Class)
+	}
+}
+
+func TestLoadClassesFromAnotherAppsAPK(t *testing.T) {
+	// §II: "an application can even use package contexts to retrieve the
+	// classes contained in another application" — a PathClassLoader over
+	// another app's installed APK archive loads its classes.
+	dev := android.NewDevice()
+	// The provider app with a useful class.
+	pb := dex.NewBuilder()
+	pm := pb.Class("com.provider.Util", "java.lang.Object").
+		Method("answer", dex.ACCPublic, 2, "I")
+	pm.Const(1, 41).Return(1).Done()
+	provDex, err := dex.Encode(pb.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Packages.Install(&apk.APK{
+		Manifest: apk.Manifest{Package: "com.provider", MinSDK: 14},
+		Dex:      provDex,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The consumer loads the provider's APK archive directly.
+	pkg := "com.consumer"
+	cb := dex.NewBuilder()
+	m := cb.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 6, "V", "Landroid/os/Bundle;")
+	m.ConstString(1, "/data/app/com.provider.apk").
+		NewInstance(2, string(LoaderPath)).
+		InvokeDirect(dex.MethodRef{Class: string(LoaderPath), Name: "<init>",
+			Sig: "(Ljava/lang/String;Ljava/lang/ClassLoader;)V"}, 2, 1, 0).
+		NewInstance(3, "com.provider.Util").
+		InvokeVirtual(dex.MethodRef{Class: "com.provider.Util", Name: "answer", Sig: "()I"}, 3).
+		MoveResult(4).
+		SPut(4, dex.FieldRef{Class: pkg + ".Main", Name: "got", Type: "I"}).
+		ReturnVoid().Done()
+	consDex, err := dex.Encode(cb.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := installApp(t, dev, pkg, consDex, nil, "")
+	hooks := &recHooks{}
+	vmach, err := New(dev, nil, app, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vmach.LaunchApp(); err != nil {
+		t.Fatalf("LaunchApp: %v", err)
+	}
+	if got := vmach.statics[pkg+".Main.got"]; got.AsInt() != 41 {
+		t.Fatalf("cross-app class result = %v, want 41", got)
+	}
+	if len(hooks.loaderInits) != 1 ||
+		hooks.loaderInits[0].dexPath != "/data/app/com.provider.apk" {
+		t.Fatalf("hook = %+v", hooks.loaderInits)
+	}
+}
+
+func TestLoaderRejectsContainerWithoutDex(t *testing.T) {
+	dev := android.NewDevice()
+	empty, err := apkBuildNoDex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := "com.nodex.loader"
+	path := android.InternalDir(pkg) + "cache/empty.apk"
+	b := dex.NewBuilder()
+	m := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m.ConstString(1, path).
+		NewInstance(2, string(LoaderPath)).
+		InvokeDirect(dex.MethodRef{Class: string(LoaderPath), Name: "<init>",
+			Sig: "(Ljava/lang/String;Ljava/lang/ClassLoader;)V"}, 2, 1, 0).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	if err := dev.Storage.WriteFile(path, empty, pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	vmach, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vmach.LaunchApp(); err == nil {
+		t.Fatal("loading a dex-less container should crash the app")
+	}
+}
+
+func apkBuildNoDex() ([]byte, error) {
+	return apk.Build(&apk.APK{Manifest: apk.Manifest{Package: "com.empty"}})
+}

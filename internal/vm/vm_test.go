@@ -1,0 +1,631 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/nativebin"
+	"github.com/dydroid/dydroid/internal/netsim"
+)
+
+// recHooks records hook events and optionally blocks deletes/renames.
+type recHooks struct {
+	loaderInits []struct {
+		kind    LoaderKind
+		dexPath string
+		optDir  string
+		stack   []StackElement
+	}
+	nativeLoads []struct {
+		api   NativeLoadAPI
+		path  string
+		stack []StackElement
+	}
+	blockDeletes bool
+	deleted      []string
+}
+
+func (h *recHooks) OnClassLoaderInit(kind LoaderKind, dexPath, optDir string, stack []StackElement) {
+	h.loaderInits = append(h.loaderInits, struct {
+		kind    LoaderKind
+		dexPath string
+		optDir  string
+		stack   []StackElement
+	}{kind, dexPath, optDir, stack})
+}
+
+func (h *recHooks) OnNativeLoad(api NativeLoadAPI, path string, stack []StackElement) {
+	h.nativeLoads = append(h.nativeLoads, struct {
+		api   NativeLoadAPI
+		path  string
+		stack []StackElement
+	}{api, path, stack})
+}
+
+func (h *recHooks) OnFileDelete(path string) bool {
+	h.deleted = append(h.deleted, path)
+	return h.blockDeletes
+}
+
+func (h *recHooks) OnFileRename(oldPath, newPath string) bool { return h.blockDeletes }
+
+// payloadDex builds a loadable payload with class com.payload.Entry whose
+// run() returns 7.
+func payloadDex(t *testing.T) []byte {
+	t.Helper()
+	b := dex.NewBuilder()
+	m := b.Class("com.payload.Entry", "java.lang.Object").
+		Method("run", dex.ACCPublic, 2, "I")
+	m.Const(1, 7).Return(1).Done()
+	data, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// dclAppDex builds the main app bytecode: the activity's onCreate creates
+// a DexClassLoader over the payload path, loads com.payload.Entry via
+// reflection and invokes run().
+func dclAppDex(t *testing.T, pkg, payloadPath string) []byte {
+	t.Helper()
+	b := dex.NewBuilder()
+	act := b.Class(pkg+".Main", "android.app.Activity")
+	m := act.Method("onCreate", dex.ACCPublic, 8, "V", "Landroid/os/Bundle;")
+	m.ConstString(2, payloadPath).
+		ConstString(3, android.InternalDir(pkg)+"odex").
+		NewInstance(4, string(LoaderDex)).
+		InvokeDirect(dex.MethodRef{Class: string(LoaderDex), Name: "<init>",
+			Sig: "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/ClassLoader;)V"},
+			4, 2, 3, 0, 0).
+		ConstString(5, "com.payload.Entry").
+		InvokeVirtual(dex.MethodRef{Class: "java.lang.ClassLoader", Name: "loadClass",
+			Sig: "(Ljava/lang/String;)Ljava/lang/Class;"}, 4, 5).
+		MoveResult(6).
+		InvokeVirtual(dex.MethodRef{Class: "java.lang.Class", Name: "newInstance",
+			Sig: "()Ljava/lang/Object;"}, 6).
+		MoveResult(7).
+		InvokeVirtual(dex.MethodRef{Class: "com.payload.Entry", Name: "run", Sig: "()I"}, 7).
+		MoveResult(1).
+		SPut(1, dex.FieldRef{Class: pkg + ".Main", Name: "result", Type: "I"}).
+		ReturnVoid().
+		Done()
+	data, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func installApp(t *testing.T, dev *android.Device, pkg string, dexBytes []byte, libs map[string][]byte, appName string) *android.InstalledApp {
+	t.Helper()
+	a := &apk.APK{
+		Manifest: apk.Manifest{
+			Package: pkg,
+			MinSDK:  16,
+			Application: apk.Application{
+				Name:       appName,
+				Activities: []apk.Component{{Name: pkg + ".Main", Main: true}},
+			},
+		},
+		Dex:        dexBytes,
+		NativeLibs: libs,
+	}
+	app, err := dev.Packages.Install(a)
+	if err != nil {
+		t.Fatalf("install %s: %v", pkg, err)
+	}
+	return app
+}
+
+func TestDexClassLoaderHookAndExecution(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.test.app"
+	payloadPath := android.InternalDir(pkg) + "cache/payload.dex"
+	app := installApp(t, dev, pkg, dclAppDex(t, pkg, payloadPath), nil, "")
+	if err := dev.Storage.WriteFile(payloadPath, payloadDex(t), pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	hooks := &recHooks{}
+	m, err := New(dev, nil, app, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LaunchApp(); err != nil {
+		t.Fatalf("LaunchApp: %v", err)
+	}
+	if len(hooks.loaderInits) != 1 {
+		t.Fatalf("loader hook fired %d times, want 1", len(hooks.loaderInits))
+	}
+	ev := hooks.loaderInits[0]
+	if ev.kind != LoaderDex || ev.dexPath != payloadPath {
+		t.Fatalf("hook = %+v", ev)
+	}
+	// Call-site class (top stack element) must be the app's activity.
+	if len(ev.stack) == 0 || ev.stack[0].Class != pkg+".Main" {
+		t.Fatalf("stack = %+v, want top %s.Main", ev.stack, pkg)
+	}
+	// Loaded code ran: static field holds 7.
+	if got := m.statics[pkg+".Main.result"]; got.AsInt() != 7 {
+		t.Fatalf("payload result = %v, want 7", got)
+	}
+	// ODEX written into the optimized dir by dexopt.
+	odexFiles := dev.Storage.List(android.InternalDir(pkg) + "odex/")
+	if len(odexFiles) != 1 || !strings.HasSuffix(odexFiles[0], ".odex") {
+		t.Fatalf("odex files = %v", odexFiles)
+	}
+}
+
+func TestClassLoaderMissingFileCrashes(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.test.missing"
+	app := installApp(t, dev, pkg, dclAppDex(t, pkg, "/data/data/"+pkg+"/cache/nope.dex"), nil, "")
+	m, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LaunchApp(); !errors.Is(err, ErrAppCrash) {
+		t.Fatalf("LaunchApp err = %v, want ErrAppCrash", err)
+	}
+}
+
+func TestNativeLoadLibraryHookAndJNI(t *testing.T) {
+	// Native lib with a JNI method returning arg0 xor 0xff, plus JNI_OnLoad.
+	nb := nativebin.NewBuilder("libmath.so", "arm")
+	nb.Symbol("JNI_OnLoad").MovI(0, 1).Ret()
+	nb.Symbol("Java_com_test_nat_Main_mask").
+		MovI(1, 255).
+		Xor(0, 0, 1).
+		Ret()
+	libBytes, err := nativebin.Encode(nb.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkg := "com.test.nat"
+	b := dex.NewBuilder()
+	act := b.Class(pkg+".Main", "android.app.Activity")
+	act.NativeMethod("mask", "I", "I")
+	m0 := act.Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m0.ConstString(1, "math").
+		InvokeStatic(dex.MethodRef{Class: "java.lang.System", Name: "loadLibrary",
+			Sig: "(Ljava/lang/String;)V"}, 1).
+		Const(2, 15).
+		InvokeVirtual(dex.MethodRef{Class: pkg + ".Main", Name: "mask", Sig: "(I)I"}, 0, 2).
+		MoveResult(3).
+		SPut(3, dex.FieldRef{Class: pkg + ".Main", Name: "masked", Type: "I"}).
+		ReturnVoid().
+		Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev := android.NewDevice()
+	app := installApp(t, dev, pkg, dexBytes, map[string][]byte{"libmath.so": libBytes}, "")
+	hooks := &recHooks{}
+	m, err := New(dev, nil, app, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LaunchApp(); err != nil {
+		t.Fatalf("LaunchApp: %v", err)
+	}
+	if len(hooks.nativeLoads) != 1 {
+		t.Fatalf("native hook fired %d times, want 1", len(hooks.nativeLoads))
+	}
+	nl := hooks.nativeLoads[0]
+	if nl.api != LoadLibrary || nl.path != android.InternalDir(pkg)+"lib/libmath.so" {
+		t.Fatalf("native load = %+v", nl)
+	}
+	if len(nl.stack) == 0 || nl.stack[0].Class != pkg+".Main" {
+		t.Fatalf("native load stack = %+v", nl.stack)
+	}
+	if got := m.statics[pkg+".Main.masked"]; got.AsInt() != 15^255 {
+		t.Fatalf("masked = %v, want %d", got, 15^255)
+	}
+}
+
+func TestLoadLibraryMissing(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.test.nolib"
+	b := dex.NewBuilder()
+	m0 := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;")
+	m0.ConstString(1, "ghost").
+		InvokeStatic(dex.MethodRef{Class: "java.lang.System", Name: "loadLibrary",
+			Sig: "(Ljava/lang/String;)V"}, 1).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	m, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LaunchApp(); !errors.Is(err, ErrAppCrash) {
+		t.Fatalf("err = %v, want ErrAppCrash (UnsatisfiedLinkError)", err)
+	}
+}
+
+func TestFileDeleteBlocking(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.test.del"
+	path := android.InternalDir(pkg) + "cache/tmp.dex"
+
+	b := dex.NewBuilder()
+	m0 := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m0.NewInstance(1, "java.io.File").
+		ConstString(2, path).
+		InvokeDirect(dex.MethodRef{Class: "java.io.File", Name: "<init>",
+			Sig: "(Ljava/lang/String;)V"}, 1, 2).
+		InvokeVirtual(dex.MethodRef{Class: "java.io.File", Name: "delete", Sig: "()Z"}, 1).
+		MoveResult(3).
+		SPut(3, dex.FieldRef{Class: pkg + ".Main", Name: "deleted", Type: "Z"}).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	if err := dev.Storage.WriteFile(path, []byte("x"), pkg, false); err != nil {
+		t.Fatal(err)
+	}
+
+	hooks := &recHooks{blockDeletes: true}
+	m, err := New(dev, nil, app, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LaunchApp(); err != nil {
+		t.Fatalf("LaunchApp: %v", err)
+	}
+	if !dev.Storage.Exists(path) {
+		t.Fatal("blocked delete removed the file")
+	}
+	if got := m.statics[pkg+".Main.deleted"]; got.AsInt() != 0 {
+		t.Fatal("blocked delete should report failure to the app")
+	}
+	if len(hooks.deleted) != 1 || hooks.deleted[0] != path {
+		t.Fatalf("delete hook = %v", hooks.deleted)
+	}
+}
+
+func TestDownloadThenLoadEmitsFlows(t *testing.T) {
+	dev := android.NewDevice()
+	net := netsim.NewNetwork()
+	net.Online = dev.NetworkAvailable
+	payload := payloadDex(t)
+	const url = "http://mobads.baidu.com/ads/pa/plugin.jar"
+	net.Serve(url, netsim.Payload{Data: payload})
+
+	pkg := "com.test.remote"
+	dest := android.InternalDir(pkg) + "cache/plugin.jar"
+	b := dex.NewBuilder()
+	m0 := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 10, "V", "Landroid/os/Bundle;")
+	m0.NewInstance(1, "java.net.URL").
+		ConstString(2, url).
+		InvokeDirect(dex.MethodRef{Class: "java.net.URL", Name: "<init>",
+			Sig: "(Ljava/lang/String;)V"}, 1, 2).
+		InvokeVirtual(dex.MethodRef{Class: "java.net.URL", Name: "openConnection",
+			Sig: "()Ljava/net/URLConnection;"}, 1).
+		MoveResult(3).
+		InvokeVirtual(dex.MethodRef{Class: "java.net.HttpURLConnection", Name: "getInputStream",
+			Sig: "()Ljava/io/InputStream;"}, 3).
+		MoveResult(4).
+		NewInstance(5, "java.io.FileOutputStream").
+		ConstString(6, dest).
+		InvokeDirect(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "<init>",
+			Sig: "(Ljava/lang/String;)V"}, 5, 6).
+		// copy loop
+		Label("loop").
+		Const(8, 64).
+		InvokeVirtual(dex.MethodRef{Class: "java.io.InputStream", Name: "read",
+			Sig: "(I)[B"}, 4, 8).
+		MoveResult(7).
+		IfEqz(7, "done").
+		InvokeVirtual(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "write",
+			Sig: "([B)V"}, 5, 7).
+		Goto("loop").
+		Label("done").
+		InvokeVirtual(dex.MethodRef{Class: "java.io.FileOutputStream", Name: "close",
+			Sig: "()V"}, 5).
+		// load the downloaded file
+		ConstString(9, android.InternalDir(pkg)+"odex").
+		NewInstance(8, string(LoaderDex)).
+		InvokeDirect(dex.MethodRef{Class: string(LoaderDex), Name: "<init>",
+			Sig: "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/ClassLoader;)V"},
+			8, 6, 9, 0, 0).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+
+	rec := &flowRecorder{}
+	hooks := &recHooks{}
+	m, err := New(dev, net, app, hooks, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LaunchApp(); err != nil {
+		t.Fatalf("LaunchApp: %v", err)
+	}
+	// File downloaded and loaded.
+	data, err := dev.Storage.ReadFile(dest)
+	if err != nil || len(data) != len(payload) {
+		t.Fatalf("downloaded file: %d bytes, err %v", len(data), err)
+	}
+	if len(hooks.loaderInits) != 1 || hooks.loaderInits[0].dexPath != dest {
+		t.Fatalf("loader hook = %+v", hooks.loaderInits)
+	}
+	// Flow chain URL -> ... -> File must be observable.
+	if !rec.sawURL(url) {
+		t.Fatal("URL init not recorded")
+	}
+	if !rec.sawBind(dest) {
+		t.Fatalf("file bind for %s not recorded; binds = %v", dest, rec.binds)
+	}
+	if len(rec.flows) < 4 {
+		t.Fatalf("too few flows recorded: %d", len(rec.flows))
+	}
+}
+
+type flowRecorder struct {
+	urls  map[netsim.ObjectID]string
+	flows [][2]netsim.ObjectID
+	binds map[netsim.ObjectID]string
+}
+
+func (r *flowRecorder) RecordURLInit(o netsim.ObjectID, url string) {
+	if r.urls == nil {
+		r.urls = map[netsim.ObjectID]string{}
+	}
+	r.urls[o] = url
+}
+func (r *flowRecorder) RecordFlow(from, to netsim.ObjectID) {
+	r.flows = append(r.flows, [2]netsim.ObjectID{from, to})
+}
+func (r *flowRecorder) RecordFileBind(o netsim.ObjectID, path string) {
+	if r.binds == nil {
+		r.binds = map[netsim.ObjectID]string{}
+	}
+	r.binds[o] = path
+}
+func (r *flowRecorder) sawURL(url string) bool {
+	for _, u := range r.urls {
+		if u == url {
+			return true
+		}
+	}
+	return false
+}
+func (r *flowRecorder) sawBind(path string) bool {
+	for _, p := range r.binds {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+func TestApplicationContainerRunsFirst(t *testing.T) {
+	// The android:name Application subclass must run before the activity.
+	pkg := "com.test.container"
+	b := dex.NewBuilder()
+	appCls := b.Class(pkg+".Shell", "android.app.Application")
+	am := appCls.Method("onCreate", dex.ACCPublic, 2, "V")
+	am.Const(1, 1).
+		SPut(1, dex.FieldRef{Class: pkg + ".Shell", Name: "ran", Type: "Z"}).
+		ReturnVoid().Done()
+	act := b.Class(pkg+".Main", "android.app.Activity")
+	mm := act.Method("onCreate", dex.ACCPublic, 3, "V", "Landroid/os/Bundle;")
+	mm.SGet(1, dex.FieldRef{Class: pkg + ".Shell", Name: "ran", Type: "Z"}).
+		SPut(1, dex.FieldRef{Class: pkg + ".Main", Name: "sawShell", Type: "Z"}).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+
+	dev := android.NewDevice()
+	app := installApp(t, dev, pkg, dexBytes, nil, pkg+".Shell")
+	m, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LaunchApp(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.statics[pkg+".Main.sawShell"]; got.AsInt() != 1 {
+		t.Fatal("Application container did not run before activity onCreate")
+	}
+}
+
+func TestLaunchAppNoActivity(t *testing.T) {
+	dev := android.NewDevice()
+	a := &apk.APK{Manifest: apk.Manifest{Package: "com.test.noact", MinSDK: 16}}
+	app, err := dev.Packages.Install(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LaunchApp(); !errors.Is(err, ErrNoActivity) {
+		t.Fatalf("err = %v, want ErrNoActivity", err)
+	}
+}
+
+func TestCallbacksAndFuzzTargets(t *testing.T) {
+	pkg := "com.test.cb"
+	b := dex.NewBuilder()
+	act := b.Class(pkg+".Main", "android.app.Activity")
+	act.Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+	act.Method("onClickDownload", dex.ACCPublic, 2, "V").
+		Const(1, 5).
+		SPut(1, dex.FieldRef{Class: pkg + ".Main", Name: "clicked", Type: "I"}).
+		ReturnVoid().Done()
+	act.Method("onResume", dex.ACCPublic, 1, "V").ReturnVoid().Done()
+	act.Method("helper", dex.ACCPublic, 1, "V").ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+
+	dev := android.NewDevice()
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	m, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activity, err := m.LaunchApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbs := m.Callbacks(activity)
+	if len(cbs) != 1 || cbs[0] != "onClickDownload" {
+		t.Fatalf("Callbacks = %v, want [onClickDownload]", cbs)
+	}
+	if err := m.FireCallback(activity, "onClickDownload"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.statics[pkg+".Main.clicked"]; got.AsInt() != 5 {
+		t.Fatal("callback did not run")
+	}
+	if err := m.FireCallback(activity, "missing"); !errors.Is(err, ErrAppCrash) {
+		t.Fatalf("missing callback err = %v", err)
+	}
+}
+
+func TestRuntimeConditionGatedBehavior(t *testing.T) {
+	// App checks connectivity before acting (Table VIII pattern).
+	pkg := "com.test.gated"
+	b := dex.NewBuilder()
+	act := b.Class(pkg+".Main", "android.app.Activity")
+	m0 := act.Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m0.NewInstance(1, "android.net.ConnectivityManager").
+		InvokeVirtual(dex.MethodRef{Class: "android.net.ConnectivityManager",
+			Name: "getActiveNetworkInfo", Sig: "()Landroid/net/NetworkInfo;"}, 1).
+		MoveResult(2).
+		IfEqz(2, "skip").
+		Const(3, 1).
+		SPut(3, dex.FieldRef{Class: pkg + ".Main", Name: "acted", Type: "Z"}).
+		Label("skip").
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+
+	for _, online := range []bool{true, false} {
+		dev := android.NewDevice()
+		dev.SetAirplaneMode(!online)
+		if !online {
+			dev.SetWiFi(false)
+		}
+		app := installApp(t, dev, pkg, dexBytes, nil, "")
+		m, err := New(dev, nil, app, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.LaunchApp(); err != nil {
+			t.Fatal(err)
+		}
+		acted := m.statics[pkg+".Main.acted"].AsInt() == 1
+		if acted != online {
+			t.Fatalf("online=%v but acted=%v", online, acted)
+		}
+	}
+}
+
+func TestStepBudgetStopsRunawayApp(t *testing.T) {
+	pkg := "com.test.spin"
+	b := dex.NewBuilder()
+	m0 := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;")
+	m0.Label("top").Goto("top").Done()
+	dexBytes, _ := dex.Encode(b.File())
+	dev := android.NewDevice()
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	m, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StepBudget = 10_000
+	if _, err := m.LaunchApp(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestPrivacySourceAPIs(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.test.priv"
+	b := dex.NewBuilder()
+	m0 := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m0.NewInstance(1, "android.telephony.TelephonyManager").
+		InvokeVirtual(dex.MethodRef{Class: "android.telephony.TelephonyManager",
+			Name: "getDeviceId", Sig: "()Ljava/lang/String;"}, 1).
+		MoveResult(2).
+		SPut(2, dex.FieldRef{Class: pkg + ".Main", Name: "imei", Type: "Ljava/lang/String;"}).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	m, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LaunchApp(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.statics[pkg+".Main.imei"].AsString(); got != dev.IMEI {
+		t.Fatalf("imei = %q, want %q", got, dev.IMEI)
+	}
+}
+
+func TestSinkEventsRecorded(t *testing.T) {
+	dev := android.NewDevice()
+	pkg := "com.test.sink"
+	b := dex.NewBuilder()
+	m0 := b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 4, "V", "Landroid/os/Bundle;")
+	m0.NewInstance(1, "android.telephony.SmsManager").
+		ConstString(2, "+100").
+		ConstString(3, "hello").
+		InvokeVirtual(dex.MethodRef{Class: "android.telephony.SmsManager",
+			Name: "sendTextMessage", Sig: "(Ljava/lang/String;Ljava/lang/String;)V"}, 1, 2, 3).
+		ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	app := installApp(t, dev, pkg, dexBytes, nil, "")
+	m, err := New(dev, nil, app, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LaunchApp(); err != nil {
+		t.Fatal(err)
+	}
+	evs := m.Events()
+	if len(evs) != 1 || evs[0].Kind != "sms" || evs[0].Data != "hello" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestMapLibraryName(t *testing.T) {
+	if got := MapLibraryName("shell"); got != "libshell.so" {
+		t.Fatalf("MapLibraryName = %q", got)
+	}
+	if got := MapLibraryName("libshell.so"); got != "libshell.so" {
+		t.Fatalf("MapLibraryName idempotence = %q", got)
+	}
+}
+
+func TestValueSemantics(t *testing.T) {
+	if Null.Truthy() || !IntVal(3).Truthy() || IntVal(0).Truthy() {
+		t.Fatal("Truthy int/null semantics wrong")
+	}
+	if !StrVal("x").Truthy() || StrVal("").Truthy() {
+		t.Fatal("Truthy string semantics wrong")
+	}
+	if !IntVal(0).Equal(Null) || !Null.Equal(IntVal(0)) {
+		t.Fatal("null/0 equality for branches wrong")
+	}
+	if IntVal(1).Equal(Null) {
+		t.Fatal("1 == null")
+	}
+	if StrVal("12").AsInt() != 12 || IntVal(5).AsString() != "5" {
+		t.Fatal("coercions wrong")
+	}
+}

@@ -1,0 +1,94 @@
+// Package words provides the English-language database used by the
+// lexical-obfuscation detector — the offline stand-in for the DBpedia
+// dump the paper compares identifiers against (§III-D). It embeds a list
+// of common English words plus programming vocabulary, and a tokenizer
+// that splits camelCase/snake_case identifiers.
+package words
+
+import "strings"
+
+// DB is a word database. The zero value is empty; use Default for the
+// embedded dictionary.
+type DB struct {
+	words map[string]bool
+}
+
+// New builds a database from the given words (lower-cased).
+func New(list []string) *DB {
+	db := &DB{words: make(map[string]bool, len(list))}
+	for _, w := range list {
+		db.words[strings.ToLower(w)] = true
+	}
+	return db
+}
+
+// Default returns the embedded dictionary.
+func Default() *DB {
+	return defaultDB
+}
+
+var defaultDB = New(embedded)
+
+// Contains reports whether the word is in the database (case-insensitive).
+func (db *DB) Contains(word string) bool {
+	return db.words[strings.ToLower(word)]
+}
+
+// Len returns the dictionary size.
+func (db *DB) Len() int { return len(db.words) }
+
+// SplitIdentifier tokenizes a program identifier into candidate words:
+// camelCase humps, snake_case segments, and digit boundaries.
+// "getDeviceId" -> ["get", "device", "id"]; "ad_loader2" -> ["ad",
+// "loader"].
+func SplitIdentifier(id string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(id)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '$' || r == '-' || (r >= '0' && r <= '9'):
+			flush()
+		case r >= 'A' && r <= 'Z':
+			// New hump unless the previous rune was also uppercase
+			// (acronym run, e.g. "URLConnection" -> "url", "connection").
+			if i > 0 && !(runes[i-1] >= 'A' && runes[i-1] <= 'Z') {
+				flush()
+			} else if i+1 < len(runes) && runes[i+1] >= 'a' && runes[i+1] <= 'z' && cur.Len() > 1 {
+				// End of an acronym run: "URLCon" splits before "Con".
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// MeaningfulFraction returns the fraction of identifier tokens found in
+// the database, over all supplied identifiers. Single-letter tokens are
+// never meaningful (they are exactly what ProGuard emits). Returns 1 for
+// an empty input.
+func (db *DB) MeaningfulFraction(identifiers []string) float64 {
+	total, hits := 0, 0
+	for _, id := range identifiers {
+		for _, tok := range SplitIdentifier(id) {
+			total++
+			if len(tok) >= 2 && db.Contains(tok) {
+				hits++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hits) / float64(total)
+}

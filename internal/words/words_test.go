@@ -1,0 +1,68 @@
+package words
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitIdentifier(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"getDeviceId", []string{"get", "device", "id"}},
+		{"ad_loader2", []string{"ad", "loader"}},
+		{"URLConnection", []string{"url", "connection"}},
+		{"onCreate", []string{"on", "create"}},
+		{"a", []string{"a"}},
+		{"", nil},
+		{"HTTPServer", []string{"http", "server"}},
+		{"download$inner", []string{"download", "inner"}},
+		{"x9y", []string{"x", "y"}},
+	}
+	for _, tc := range tests {
+		if got := SplitIdentifier(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitIdentifier(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDefaultDictionary(t *testing.T) {
+	db := Default()
+	if db.Len() < 800 {
+		t.Fatalf("dictionary only has %d words", db.Len())
+	}
+	for _, w := range []string{"download", "manager", "activity", "the", "Download"} {
+		if !db.Contains(w) {
+			t.Fatalf("dictionary missing %q", w)
+		}
+	}
+	if db.Contains("xqzx") {
+		t.Fatal("dictionary contains gibberish")
+	}
+}
+
+func TestMeaningfulFraction(t *testing.T) {
+	db := Default()
+	meaningful := []string{"DownloadManager", "onCreate", "parseResponse", "userProfile"}
+	if f := db.MeaningfulFraction(meaningful); f < 0.9 {
+		t.Fatalf("meaningful identifiers scored %f", f)
+	}
+	obfuscated := []string{"a", "b", "c", "aa", "ab", "zxq", "qqw"}
+	if f := db.MeaningfulFraction(obfuscated); f > 0.2 {
+		t.Fatalf("obfuscated identifiers scored %f", f)
+	}
+	if f := db.MeaningfulFraction(nil); f != 1 {
+		t.Fatalf("empty input scored %f, want 1", f)
+	}
+}
+
+func TestNewCustomDB(t *testing.T) {
+	db := New([]string{"Foo", "BAR"})
+	if !db.Contains("foo") || !db.Contains("bar") || db.Contains("baz") {
+		t.Fatal("custom DB lookup broken")
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
