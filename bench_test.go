@@ -6,6 +6,7 @@
 package dydroid_test
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
@@ -45,7 +46,9 @@ func sharedRun(b *testing.B) *experiments.Results {
 }
 
 // BenchmarkFullMeasurement times the complete pipeline — generate the
-// marketplace, analyze every app, replay the malware — at bench scale.
+// marketplace, analyze every app, replay the malware — at bench scale,
+// and reports the per-stage mean timings from the run's metrics registry
+// so stage-level regressions show up in benchmark diffs.
 func BenchmarkFullMeasurement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run(experiments.Config{
@@ -55,6 +58,12 @@ func BenchmarkFullMeasurement(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(res.Records)), "apps/op")
+		b.ReportMetric(res.RunStats.AppsPerSec, "apps/sec")
+		for name, st := range res.RunStats.Stages {
+			if stage, ok := strings.CutPrefix(name, "stage."); ok {
+				b.ReportMetric(float64(st.Mean.Nanoseconds()), stage+"-ns/app")
+			}
+		}
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dydroid [-seed 7] [-events 25] app1.apk [app2.apk ...]
+//	dydroid [-seed 7] [-events 25] [-metrics] app1.apk [app2.apk ...]
 //
 // Malware detection trains DroidNative on the corpus's training families;
 // pass -no-train to skip it.
@@ -20,12 +20,14 @@ import (
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/corpus"
 	"github.com/dydroid/dydroid/internal/droidnative"
+	"github.com/dydroid/dydroid/internal/metrics"
 )
 
 func main() {
 	seed := flag.Int64("seed", 7, "fuzzing seed")
 	events := flag.Int("events", 25, "monkey event budget per app")
 	noTrain := flag.Bool("no-train", false, "skip DroidNative training (disables malware detection)")
+	showMetrics := flag.Bool("metrics", false, "print the pipeline metrics snapshot (per-stage timings, status counts) to stderr after all apps")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dydroid [flags] app.apk ...")
@@ -46,12 +48,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	reg := metrics.New()
 	an := core.NewAnalyzer(core.Options{
 		Seed:         *seed,
 		MonkeyEvents: *events,
 		Classifier:   clf,
 		Network:      store.Network,
 		SetupDevice:  store.SetupDevice,
+		Metrics:      reg,
 	})
 
 	exit := 0
@@ -69,6 +73,9 @@ func main() {
 			continue
 		}
 		printResult(os.Stdout, path, res)
+	}
+	if *showMetrics {
+		fmt.Fprint(os.Stderr, reg.Snapshot())
 	}
 	os.Exit(exit)
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale 1.0] [-seed 2016] [-workers N] [-table N | -figure 3] [-o report.txt]
+//	experiments [-scale 1.0] [-seed 2016] [-workers N] [-table N | -figure 3] [-o report.txt] [-metrics] [-failfast]
 //
 // With no -table/-figure flag the complete report (Tables I-X and
 // Figure 3) is printed.
@@ -27,9 +27,14 @@ func main() {
 	figure := flag.Int("figure", 0, "print only this figure (3)")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	showMetrics := flag.Bool("metrics", false, "print the run's metrics snapshot (per-stage timings, throughput, failure counts) to stderr")
+	failFast := flag.Bool("failfast", false, "abort on the first per-app failure instead of recording it and continuing")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers}
+	if *failFast {
+		cfg.OnFailure = experiments.FailFast
+	}
 	if !*quiet {
 		cfg.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\ranalyzed %d/%d apps", done, total)
@@ -42,6 +47,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if n := res.RunStats.Failed; n > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d app(s) failed analysis and were recorded as %s:\n%v\n",
+			n, "analysis-error", res.Err())
+	}
+	if *showMetrics {
+		fmt.Fprintln(os.Stderr, res.RunStats)
 	}
 
 	var report string

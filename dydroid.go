@@ -63,6 +63,7 @@ const (
 	StatusRewriteFailure = core.StatusRewriteFailure
 	StatusNoActivity     = core.StatusNoActivity
 	StatusCrash          = core.StatusCrash
+	StatusAnalysisError  = core.StatusAnalysisError
 
 	KindDex    = core.KindDex
 	KindNative = core.KindNative
@@ -99,6 +100,21 @@ type ExperimentConfig = experiments.Config
 // ExperimentResults is the output of a measurement run; Report() renders
 // every table and figure.
 type ExperimentResults = experiments.Results
+
+// RunStats summarizes a measurement run: throughput, per-stage timing
+// histograms and failure counts.
+type RunStats = experiments.RunStats
+
+// FailurePolicy selects how RunExperiments treats a per-app analysis
+// failure: record it and continue (FailRecord, the default) or cancel
+// the run (FailFast).
+type FailurePolicy = experiments.FailurePolicy
+
+// Failure policies.
+const (
+	FailRecord = experiments.FailRecord
+	FailFast   = experiments.FailFast
+)
 
 // RunExperiments regenerates the paper's evaluation over a fresh
 // marketplace.

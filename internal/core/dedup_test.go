@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/android"
+)
+
+// TestStaticDedupClassifiesOverwrittenPayload: a payload overwritten at
+// the same path between two loads (the packer-swap pattern, §V-F) is a
+// distinct binary; keying the dedup on path alone skipped it and its
+// findings. The key is (path, content hash).
+func TestStaticDedupClassifiesOverwrittenPayload(t *testing.T) {
+	path := "/data/data/com.swap.app/cache/stage.dex"
+	first := payloadWithLeak(t, "com.packer.StageOne")
+	second := payloadWithLeak(t, "com.packer.StageTwo")
+
+	an := NewAnalyzer(Options{})
+	res := &AppResult{
+		Package: "com.swap.app",
+		Events: []*DCLEvent{
+			{Kind: KindDex, Path: path, Intercepted: first},
+			{Kind: KindDex, Path: path, Intercepted: second},
+		},
+	}
+	an.staticOnIntercepted(res)
+	if res.Privacy == nil {
+		t.Fatal("no privacy result")
+	}
+	classes := res.Privacy.LeakClasses(android.DTIMEI)
+	sort.Strings(classes)
+	want := []string{"com.packer.StageOne", "com.packer.StageTwo"}
+	if len(classes) != 2 || classes[0] != want[0] || classes[1] != want[1] {
+		t.Fatalf("leak classes = %v, want %v (swapped payload not classified)", classes, want)
+	}
+}
+
+// TestStaticDedupStillSkipsIdenticalReload: the same binary loaded twice
+// at the same path is classified once, as before.
+func TestStaticDedupStillSkipsIdenticalReload(t *testing.T) {
+	path := "/data/data/com.same.app/cache/ad.dex"
+	payload := payloadWithLeak(t, "com.google.ads.dynamic.AdCore")
+
+	an := NewAnalyzer(Options{})
+	res := &AppResult{
+		Package: "com.same.app",
+		Events: []*DCLEvent{
+			{Kind: KindDex, Path: path, Intercepted: payload},
+			{Kind: KindDex, Path: path, Intercepted: payload},
+		},
+	}
+	an.staticOnIntercepted(res)
+	if res.Privacy == nil {
+		t.Fatal("no privacy result")
+	}
+	if n := len(res.Privacy.Leaks); n != 1 {
+		t.Fatalf("leaks = %d, want 1 (identical reload double-classified)", n)
+	}
+}

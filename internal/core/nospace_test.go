@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/vm"
+)
+
+// TestIsNoSpaceUsesWrappedSentinel: every storage-exhaustion path wraps
+// android.ErrNoSpace, so isNoSpace is a plain errors.Is — including
+// through the VM's crash wrapping, which must preserve the inner chain.
+func TestIsNoSpaceUsesWrappedSentinel(t *testing.T) {
+	inner := fmt.Errorf("%w: writing 100 bytes to /x", android.ErrNoSpace)
+	crash := fmt.Errorf("%w: IOException: %w", vm.ErrAppCrash, inner)
+	wrapped := fmt.Errorf("core: %w", crash)
+	if !isNoSpace(wrapped) {
+		t.Fatalf("isNoSpace(%v) = false", wrapped)
+	}
+	// A same-text error outside the chain must NOT match: the string
+	// fallback is gone for good.
+	if isNoSpace(errors.New("android: no space left on device")) {
+		t.Fatal("isNoSpace matched on message text instead of the error chain")
+	}
+	if isNoSpace(nil) {
+		t.Fatal("isNoSpace(nil) = true")
+	}
+}
+
+// TestCrashPreservesNoSpaceChain runs an app whose ad-SDK copy phase
+// exhausts the storage quota mid-run: the resulting crash error must
+// still satisfy errors.Is(_, android.ErrNoSpace) end to end, which the
+// old %v-wrapping in the VM broke.
+func TestCrashPreservesNoSpaceChain(t *testing.T) {
+	payload := make([]byte, 256*1024)
+	copy(payload, payloadWithLeak(t, "com.google.ads.dynamic.AdCore"))
+	apkBytes := adSDKApp(t, "com.nospace.app", payload)
+	// Quota admits install (APK + dex + asset) with half a payload of
+	// slack, but not the SDK's asset-to-cache copy of the full payload,
+	// which fails inside the VM's FileOutputStream.close and crashes the
+	// app.
+	quota := int64(len(apkBytes)) + int64(len(payload)) + int64(len(payload))/2
+	an := NewAnalyzer(Options{Seed: 1, StorageQuota: quota})
+	res, err := an.AnalyzeAPK(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusCrash {
+		t.Fatalf("status = %s, want %s (crash: %v)", res.Status, StatusCrash, res.Crash)
+	}
+	if !errors.Is(res.Crash, vm.ErrAppCrash) {
+		t.Fatalf("crash not an app crash: %v", res.Crash)
+	}
+	if !errors.Is(res.Crash, android.ErrNoSpace) {
+		t.Fatalf("crash chain lost the storage sentinel: %v", res.Crash)
+	}
+}

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"github.com/dydroid/dydroid/internal/android"
@@ -12,6 +12,7 @@ import (
 	"github.com/dydroid/dydroid/internal/dex"
 	"github.com/dydroid/dydroid/internal/droidnative"
 	"github.com/dydroid/dydroid/internal/mail"
+	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/monkey"
 	"github.com/dydroid/dydroid/internal/nativebin"
 	"github.com/dydroid/dydroid/internal/netsim"
@@ -50,6 +51,11 @@ type Options struct {
 	DisableDeleteBlocking bool
 	// StepBudget overrides the per-invocation VM budget (0 = default).
 	StepBudget int
+	// Metrics, when non-nil, receives per-stage duration histograms
+	// (stage.unpack / stage.rewrite / stage.dynamic / stage.static /
+	// stage.replay), app.total timings, and status.* counters. A nil
+	// registry disables instrumentation at zero cost.
+	Metrics *metrics.Registry
 }
 
 // Analyzer is the DyDroid pipeline.
@@ -68,12 +74,28 @@ func NewAnalyzer(opts Options) *Analyzer {
 // AnalyzeAPK runs the full pipeline (Fig. 1) on one application archive:
 // decompile, static pre-filter and obfuscation analysis, rewrite, dynamic
 // exercise with DCL logging/interception/tracking, then static malware,
-// vulnerability and privacy analysis of the intercepted code.
+// vulnerability and privacy analysis of the intercepted code. When
+// Options.Metrics is set, every stage duration and the final status are
+// recorded into the registry.
 func (a *Analyzer) AnalyzeAPK(apkBytes []byte) (*AppResult, error) {
+	stop := a.opts.Metrics.Time("app.total")
+	res, err := a.analyzeAPK(apkBytes)
+	stop()
+	if err != nil {
+		a.opts.Metrics.Add("status."+string(StatusAnalysisError), 1)
+		return nil, err
+	}
+	a.opts.Metrics.Add("status."+string(res.Status), 1)
+	return res, nil
+}
+
+func (a *Analyzer) analyzeAPK(apkBytes []byte) (*AppResult, error) {
 	res := &AppResult{}
 
+	tUnpack := time.Now()
 	u, err := a.opts.Tool.Unpack(apkBytes)
 	if err != nil {
+		a.opts.Metrics.Observe("stage.unpack", time.Since(tUnpack))
 		if errors.Is(err, apktool.ErrDecompile) {
 			res.Status = StatusUnpackFailure
 			res.Obfuscation.AntiDecompile = true
@@ -85,6 +107,7 @@ func (a *Analyzer) AnalyzeAPK(apkBytes []byte) (*AppResult, error) {
 	res.PreFilter = obfuscation.PreFilter(u)
 	det := obfuscation.Detector{Tool: a.opts.Tool}
 	res.Obfuscation = det.AnalyzeUnpacked(u)
+	a.opts.Metrics.Observe("stage.unpack", time.Since(tUnpack))
 
 	if !res.PreFilter.HasDexDCL && !res.PreFilter.HasNativeDCL && !a.opts.RunDynamicWithoutDCL {
 		res.Status = StatusNoDCL
@@ -94,7 +117,9 @@ func (a *Analyzer) AnalyzeAPK(apkBytes []byte) (*AppResult, error) {
 	// Rewrite with the logging permission when missing.
 	runBytes := apkBytes
 	if !u.APK.Manifest.HasPermission(apk.WriteExternalStorage) {
+		tRewrite := time.Now()
 		rewritten, err := a.opts.Tool.Repack(apkBytes)
+		a.opts.Metrics.Observe("stage.rewrite", time.Since(tRewrite))
 		if err != nil {
 			if errors.Is(err, apktool.ErrRepack) {
 				res.Status = StatusRewriteFailure
@@ -107,12 +132,15 @@ func (a *Analyzer) AnalyzeAPK(apkBytes []byte) (*AppResult, error) {
 
 	// Dynamic phase, with one retry after cleaning external storage when
 	// the device runs out of space (automatic exception handling).
+	tDynamic := time.Now()
 	run, err := a.runDynamic(runBytes, nil)
 	if err != nil && isNoSpace(err) {
+		a.opts.Metrics.Add("dynamic.nospace-retries", 1)
 		run, err = a.runDynamic(runBytes, func(dev *android.Device) {
 			dev.Storage.RemovePrefix(LogRoot)
 		})
 	}
+	a.opts.Metrics.Observe("stage.dynamic", time.Since(tDynamic))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -130,15 +158,20 @@ func (a *Analyzer) AnalyzeAPK(apkBytes []byte) (*AppResult, error) {
 		res.Status = StatusExercised
 	}
 
+	tStatic := time.Now()
 	a.staticOnIntercepted(res)
 	minSDK := u.APK.Manifest.MinSDK
 	res.Vulns = AnalyzeVulnerabilities(res.Package, minSDK, res.Events)
+	a.opts.Metrics.Observe("stage.static", time.Since(tStatic))
 	return res, nil
 }
 
+// isNoSpace reports whether the error chain reaches the storage layer's
+// quota-exhaustion sentinel. Every exhaustion path wraps
+// android.ErrNoSpace (the VM preserves inner error chains with %w), so a
+// plain errors.Is suffices — no string matching.
 func isNoSpace(err error) bool {
-	return err != nil &&
-		(errors.Is(err, android.ErrNoSpace) || strings.Contains(err.Error(), "no space left"))
+	return errors.Is(err, android.ErrNoSpace)
 }
 
 // dynRun is the outcome of one dynamic exercise.
@@ -217,13 +250,24 @@ func (a *Analyzer) runDynamic(apkBytes []byte, preLaunch func(*android.Device)) 
 // result.
 func (a *Analyzer) staticOnIntercepted(res *AppResult) {
 	merged := &taint.Result{SourcesSeen: make(map[android.DataType]bool)}
-	classified := make(map[string]bool)
+	// Dedup keys on (path, content hash), not path alone: a payload
+	// overwritten at the same path between two loads (the packer-swap
+	// pattern, §V-F) is a distinct binary and must still be classified.
+	type interceptKey struct {
+		path string
+		sum  [sha256.Size]byte
+	}
+	classified := make(map[interceptKey]bool)
 	anyDex := false
 	for _, ev := range res.Events {
-		if ev.Intercepted == nil || classified[ev.Path] {
+		if ev.Intercepted == nil {
 			continue
 		}
-		classified[ev.Path] = true
+		key := interceptKey{path: ev.Path, sum: sha256.Sum256(ev.Intercepted)}
+		if classified[key] {
+			continue
+		}
+		classified[key] = true
 		switch {
 		case dex.IsOptimized(ev.Intercepted), isDex(ev.Intercepted):
 			df, err := dex.Decode(ev.Intercepted)
@@ -286,6 +330,7 @@ func (a *Analyzer) ReplayUnderConfig(apkBytes []byte, cfg ReplayConfig, releaseD
 	if releaseDate.IsZero() {
 		releaseDate = DefaultReleaseDate
 	}
+	defer a.opts.Metrics.Time("stage.replay")()
 	run, err := a.runDynamic(apkBytes, func(dev *android.Device) {
 		switch cfg {
 		case ConfigTimeBeforeRelease:

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/dydroid/dydroid/internal/android"
@@ -61,11 +62,14 @@ type Spec struct {
 	ReadSettings bool
 }
 
-// payloadCache shares identical payload bytes across apps.
+// payloadCache shares identical payload bytes across apps. The libs map
+// is filled lazily by concurrent pipeline workers building APKs, so all
+// access goes through the mutex.
 type payloadCache struct {
 	ad     []byte
 	swiss  []byte
 	adware []byte
+	mu     sync.Mutex
 	libs   map[string][]byte
 }
 
@@ -85,9 +89,14 @@ func newPayloadCache() (*payloadCache, error) {
 }
 
 func (c *payloadCache) lib(name string, build func() (*nativebin.Library, error)) ([]byte, error) {
+	c.mu.Lock()
 	if data, ok := c.libs[name]; ok {
+		c.mu.Unlock()
 		return data, nil
 	}
+	c.mu.Unlock()
+	// Build outside the lock; generation is deterministic, so a racing
+	// duplicate build produces identical bytes and either may win.
 	lib, err := build()
 	if err != nil {
 		return nil, err
@@ -96,8 +105,17 @@ func (c *payloadCache) lib(name string, build func() (*nativebin.Library, error)
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.libs[name] = data
+	c.mu.Unlock()
 	return data, nil
+}
+
+// cachedLib returns an already-built library's bytes (nil if absent).
+func (c *payloadCache) cachedLib(name string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.libs[name]
 }
 
 // Build derives the APK for the spec.

@@ -3,17 +3,43 @@
 // DyDroid pipeline over every app (in parallel), replays the malware apps
 // under the four Table VIII device configurations, and renders each
 // table with the paper-reported values alongside the measured ones.
+//
+// The runner is built for marketplace scale: per-app failures are retried
+// once and then recorded as StatusAnalysisError records instead of
+// aborting a multi-hour run (FailRecord, the default), or aggregated and
+// returned after cancelling dispatch (FailFast). Every run carries a
+// metrics registry whose per-stage histograms surface in Results.RunStats.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/corpus"
 	"github.com/dydroid/dydroid/internal/droidnative"
+	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/stats"
+)
+
+// FailurePolicy selects how Run reacts to a per-app pipeline failure.
+type FailurePolicy int
+
+const (
+	// FailRecord (the default) retries the failing app and, when it still
+	// fails, records a StatusAnalysisError AppRecord carrying the error,
+	// then keeps going. Run returns nil error; Results.Err() aggregates
+	// the per-app failures.
+	FailRecord FailurePolicy = iota
+	// FailFast cancels dispatch on the first failure (no retry of other
+	// queued apps) and returns every error gathered from in-flight
+	// workers, joined.
+	FailFast
 )
 
 // Config controls a measurement run.
@@ -29,8 +55,26 @@ type Config struct {
 	TrainPerFamily int
 	// MonkeyEvents is the per-app fuzz budget (default 25).
 	MonkeyEvents int
-	// Progress, when non-nil, receives periodic progress callbacks.
+	// Progress, when non-nil, receives periodic progress callbacks. It
+	// fires every 500 completed apps and once at done == total; failed
+	// apps count as completed.
 	Progress func(done, total int)
+	// Context, when non-nil, cancels the run externally: dispatch stops
+	// and Run returns the context error once in-flight apps drain.
+	Context context.Context
+	// OnFailure is the per-app failure policy (default FailRecord).
+	OnFailure FailurePolicy
+	// MaxAttempts is the per-app attempt budget (default 2: the paper-era
+	// runner's retry-once-then-record behaviour; 1 disables retries).
+	MaxAttempts int
+	// Metrics, when non-nil, is the registry the run records into;
+	// otherwise Run creates a private one. Either way the snapshot lands
+	// in Results.RunStats.
+	Metrics *metrics.Registry
+
+	// analyze is the per-app analysis function, replaceable in tests to
+	// inject failures.
+	analyze func(*core.Analyzer, *corpus.Store, *corpus.StoreApp) (*AppRecord, error)
 }
 
 // AppRecord pairs store metadata with the pipeline's findings for one app.
@@ -42,6 +86,56 @@ type AppRecord struct {
 	ReplayLoaded map[core.ReplayConfig]map[string]bool
 	// MalwarePaths is the set of paths DroidNative flagged for this app.
 	MalwarePaths map[string]bool
+	// Err is the pipeline failure for this app after retries (FailRecord
+	// policy); Result then carries StatusAnalysisError.
+	Err error
+}
+
+// RunStats is the observability block of a measurement run.
+type RunStats struct {
+	// Elapsed is the wall-clock measurement time.
+	Elapsed time.Duration
+	// Apps is the number of records produced (equals the corpus size on a
+	// completed run).
+	Apps int
+	// Succeeded / Failed split Apps by pipeline outcome; Retried counts
+	// extra attempts made under the retry policy.
+	Succeeded int
+	Failed    int
+	Retried   int
+	// AppsPerSec is the end-to-end throughput.
+	AppsPerSec float64
+	// StatusCounts tallies the per-app Table II statuses (including
+	// analysis-error records).
+	StatusCounts map[core.Status]int
+	// Stages holds the per-stage duration histograms
+	// (stage.unpack/rewrite/dynamic/static/replay, app.total).
+	Stages map[string]metrics.StageStats
+	// Counters is the raw counter section of the metrics snapshot.
+	Counters map[string]int64
+}
+
+// String renders the stats block as an aligned report section.
+func (s RunStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: %d apps in %s (%.1f apps/sec), %d failed, %d retried\n",
+		s.Apps, s.Elapsed.Round(time.Millisecond), s.AppsPerSec, s.Failed, s.Retried)
+	if len(s.StatusCounts) > 0 {
+		t := stats.NewTable("status counts", "status", "apps")
+		for _, st := range []core.Status{
+			core.StatusExercised, core.StatusNoDCL, core.StatusUnpackFailure,
+			core.StatusRewriteFailure, core.StatusNoActivity, core.StatusCrash,
+			core.StatusAnalysisError,
+		} {
+			if n := s.StatusCounts[st]; n > 0 {
+				t.Row(string(st), n)
+			}
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	b.WriteString(metrics.Snapshot{Counters: s.Counters, Stages: s.Stages}.String())
+	return b.String()
 }
 
 // Results is the complete measurement output.
@@ -51,6 +145,31 @@ type Results struct {
 	Records []*AppRecord
 	// Elapsed is the wall-clock measurement time.
 	Elapsed time.Duration
+	// RunStats carries throughput, failure counts and per-stage timings.
+	RunStats RunStats
+}
+
+// Err aggregates the per-app failures recorded under the FailRecord
+// policy (nil when every app analyzed cleanly).
+func (r *Results) Err() error {
+	var errs []error
+	for _, rec := range r.Records {
+		if rec != nil && rec.Err != nil {
+			errs = append(errs, fmt.Errorf("experiments: %s: %w", rec.Meta.Package, rec.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Failures returns the records whose analysis failed after retries.
+func (r *Results) Failures() []*AppRecord {
+	var out []*AppRecord
+	for _, rec := range r.Records {
+		if rec != nil && rec.Err != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 // Run executes the measurement.
@@ -61,6 +180,24 @@ func Run(cfg Config) (*Results, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 2
+	}
+	parent := cfg.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	analyze := cfg.analyze
+	if analyze == nil {
+		analyze = analyzeOne
+	}
+
 	start := time.Now()
 	store, err := corpus.Generate(corpus.Config{Seed: cfg.Seed, Scale: cfg.Scale})
 	if err != nil {
@@ -71,34 +208,53 @@ func Run(cfg Config) (*Results, error) {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 
-	records := make([]*AppRecord, len(store.Apps))
-	var wg sync.WaitGroup
+	total := len(store.Apps)
+	records := make([]*AppRecord, total)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex // guards done, errs, failed, retried
+		done    int
+		failed  int
+		retried int
+		errs    []error
+	)
 	jobs := make(chan int)
-	errCh := make(chan error, cfg.Workers)
-	var done int64
-	var doneMu sync.Mutex
 
 	worker := func() {
 		defer wg.Done()
-		an := newAnalyzer(cfg, store, clf)
+		an := newAnalyzer(cfg, store, clf, reg)
 		for i := range jobs {
-			rec, err := analyzeOne(an, store, store.Apps[i])
+			if ctx.Err() != nil {
+				continue // drain without analyzing once cancelled
+			}
+			app := store.Apps[i]
+			rec, err := analyze(an, store, app)
+			for attempt := 2; err != nil && attempt <= cfg.MaxAttempts && ctx.Err() == nil; attempt++ {
+				reg.Add("apps.retried", 1)
+				mu.Lock()
+				retried++
+				mu.Unlock()
+				rec, err = analyze(an, store, app)
+			}
 			if err != nil {
-				select {
-				case errCh <- fmt.Errorf("experiments: %s: %w", store.Apps[i].Spec.Pkg, err):
-				default:
+				reg.Add("apps.failed", 1)
+				mu.Lock()
+				failed++
+				errs = append(errs, fmt.Errorf("experiments: %s: %w", app.Spec.Pkg, err))
+				mu.Unlock()
+				if cfg.OnFailure == FailFast {
+					cancel()
+				} else {
+					rec = failureRecord(app, err)
 				}
-				continue
 			}
 			records[i] = rec
-			if cfg.Progress != nil {
-				doneMu.Lock()
-				done++
-				d := int(done)
-				doneMu.Unlock()
-				if d%500 == 0 || d == len(store.Apps) {
-					cfg.Progress(d, len(store.Apps))
-				}
+			mu.Lock()
+			done++
+			d := done
+			mu.Unlock()
+			if cfg.Progress != nil && (d%500 == 0 || d == total) {
+				cfg.Progress(d, total)
 			}
 		}
 	}
@@ -106,32 +262,86 @@ func Run(cfg Config) (*Results, error) {
 		wg.Add(1)
 		go worker()
 	}
+dispatch:
 	for i := range store.Apps {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+
+	if cfg.OnFailure == FailFast {
+		mu.Lock()
+		joined := errors.Join(errs...)
+		mu.Unlock()
+		if joined != nil {
+			return nil, joined
+		}
+	}
+	if err := parent.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: run cancelled after %d/%d apps: %w", done, total, err)
 	}
 
-	return &Results{
+	elapsed := time.Since(start)
+	res := &Results{
 		Config:  cfg,
 		Scale:   cfg.Scale,
 		Records: records,
-		Elapsed: time.Since(start),
-	}, nil
+		Elapsed: elapsed,
+	}
+	res.RunStats = buildStats(reg, records, elapsed, failed, retried)
+	return res, nil
 }
 
-func newAnalyzer(cfg Config, store *corpus.Store, clf *droidnative.Classifier) *core.Analyzer {
+// failureRecord is the placeholder stored for an app whose analysis
+// failed after retries: the run keeps its slot (no nil records) and the
+// error travels with the record.
+func failureRecord(app *corpus.StoreApp, err error) *AppRecord {
+	return &AppRecord{
+		Meta: app.Meta,
+		Result: &core.AppResult{
+			Package: app.Spec.Pkg,
+			Status:  core.StatusAnalysisError,
+			Crash:   err,
+		},
+		Err: err,
+	}
+}
+
+func buildStats(reg *metrics.Registry, records []*AppRecord, elapsed time.Duration, failed, retried int) RunStats {
+	snap := reg.Snapshot()
+	st := RunStats{
+		Elapsed:      elapsed,
+		Apps:         len(records),
+		Succeeded:    len(records) - failed,
+		Failed:       failed,
+		Retried:      retried,
+		StatusCounts: make(map[core.Status]int),
+		Stages:       snap.Stages,
+		Counters:     snap.Counters,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		st.AppsPerSec = float64(len(records)) / secs
+	}
+	for _, rec := range records {
+		if rec != nil && rec.Result != nil {
+			st.StatusCounts[rec.Result.Status]++
+		}
+	}
+	return st
+}
+
+func newAnalyzer(cfg Config, store *corpus.Store, clf *droidnative.Classifier, reg *metrics.Registry) *core.Analyzer {
 	return core.NewAnalyzer(core.Options{
 		Seed:         cfg.Seed,
 		MonkeyEvents: cfg.MonkeyEvents,
 		Classifier:   clf,
 		Network:      store.Network,
 		SetupDevice:  store.SetupDevice,
+		Metrics:      reg,
 	})
 }
 

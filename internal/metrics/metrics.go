@@ -1,0 +1,255 @@
+// Package metrics provides the lightweight instrumentation layer of the
+// measurement harness: named counters and duration histograms with cheap
+// concurrent updates and point-in-time snapshots. The pipeline records
+// per-stage timings (unpack/rewrite/dynamic/static/replay) and status
+// counts into a Registry; the experiment runner aggregates one Registry
+// per run into its RunStats block. No external dependencies.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+)
+
+// numBuckets is the histogram resolution: bucket i covers durations in
+// (1µs·2^(i-1), 1µs·2^i], so the top bucket reaches past half an hour.
+const numBuckets = 32
+
+// Registry holds named counters and histograms. All methods are safe for
+// concurrent use, and every method is a no-op on a nil receiver so callers
+// can thread an optional *Registry without nil checks at each site.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*int64
+	hists    map[string]*histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*int64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Add increments the named counter by delta, creating it at zero first.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(int64)
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	atomic.AddInt64(c, delta)
+}
+
+// Observe records one duration into the named histogram.
+func (r *Registry) Observe(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &histogram{}
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	h.observe(d)
+}
+
+// Time starts a timer for the named histogram and returns the function
+// that stops it and records the elapsed duration.
+func (r *Registry) Time(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.Observe(name, time.Since(start)) }
+}
+
+// histogram is an exponentially-bucketed duration distribution.
+type histogram struct {
+	mu      sync.Mutex
+	buckets [numBuckets]int64
+	count   int64
+	total   time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for sub-µs, else 1+floor(log2(µs))
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// bucketBound is the inclusive upper bound of bucket i.
+func bucketBound(i int) time.Duration {
+	return time.Microsecond << i
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.total += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+func (h *histogram) stats() StageStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := StageStats{
+		Count: h.count,
+		Total: h.total,
+		Min:   h.min,
+		Max:   h.max,
+	}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.total / time.Duration(h.count)
+	s.P50 = h.quantileLocked(0.50)
+	s.P90 = h.quantileLocked(0.90)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+// quantileLocked returns the upper bound of the bucket holding the q-th
+// observation, clamped to the exact observed extremes.
+func (h *histogram) quantileLocked(q float64) time.Duration {
+	rank := int64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			b := bucketBound(i)
+			if b > h.max {
+				b = h.max
+			}
+			if b < h.min {
+				b = h.min
+			}
+			return b
+		}
+	}
+	return h.max
+}
+
+// StageStats summarizes one histogram at snapshot time.
+type StageStats struct {
+	Count int64
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot is a point-in-time copy of a registry's state.
+type Snapshot struct {
+	Counters map[string]int64
+	Stages   map[string]StageStats
+}
+
+// Snapshot copies out every counter value and histogram summary.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters: make(map[string]int64),
+		Stages:   make(map[string]StageStats),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	for name, c := range counters {
+		snap.Counters[name] = atomic.LoadInt64(c)
+	}
+	for name, h := range hists {
+		snap.Stages[name] = h.stats()
+	}
+	return snap
+}
+
+// String renders the snapshot as an aligned two-section table.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counter\tvalue")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(w, "%s\t%d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Stages) > 0 {
+		if len(s.Counters) > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "stage\tcount\ttotal\tmean\tp50\tp90\tp99\tmax")
+		for _, name := range sortedKeys(s.Stages) {
+			st := s.Stages[name]
+			fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				name, st.Count, round(st.Total), round(st.Mean),
+				round(st.P50), round(st.P90), round(st.P99), round(st.Max))
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d.Round(time.Nanosecond)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

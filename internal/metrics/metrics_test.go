@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("apps", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Counters["apps"]; got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := New()
+	for _, d := range []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 100 * time.Millisecond,
+	} {
+		r.Observe("stage.dynamic", d)
+	}
+	st := r.Snapshot().Stages["stage.dynamic"]
+	if st.Count != 4 {
+		t.Fatalf("count = %d, want 4", st.Count)
+	}
+	if want := 107 * time.Millisecond; st.Total != want {
+		t.Fatalf("total = %s, want %s", st.Total, want)
+	}
+	if st.Min != time.Millisecond || st.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %s/%s", st.Min, st.Max)
+	}
+	if st.Mean != st.Total/4 {
+		t.Fatalf("mean = %s", st.Mean)
+	}
+	if st.P50 > st.P90 || st.P90 > st.P99 || st.P99 > st.Max {
+		t.Fatalf("quantiles not monotone: p50=%s p90=%s p99=%s max=%s",
+			st.P50, st.P90, st.P99, st.Max)
+	}
+	if st.P50 < st.Min {
+		t.Fatalf("p50 %s below min %s", st.P50, st.Min)
+	}
+}
+
+func TestTimeHelperRecords(t *testing.T) {
+	r := New()
+	stop := r.Time("stage.unpack")
+	stop()
+	st := r.Snapshot().Stages["stage.unpack"]
+	if st.Count != 1 {
+		t.Fatalf("count = %d, want 1", st.Count)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Add("x", 1)
+	r.Observe("y", time.Second)
+	r.Time("z")()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Stages) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := New()
+	r.Add("status.exercised", 3)
+	r.Observe("stage.unpack", 5*time.Millisecond)
+	out := r.Snapshot().String()
+	for _, want := range []string{"status.exercised", "stage.unpack", "p90"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestObserveConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Observe("s", time.Duration(w+1)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := r.Snapshot().Stages["s"]; st.Count != 4000 {
+		t.Fatalf("count = %d, want 4000", st.Count)
+	}
+}

@@ -56,18 +56,18 @@ func (m *VM) loadNativeResolved(api NativeLoadAPI, path string) error {
 	m.Hooks.OnNativeLoad(api, path, m.StackTrace())
 	data, err := m.Device.Storage.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrAppCrash, err)
+		return fmt.Errorf("%w: %w", ErrAppCrash, err)
 	}
 	lib, err := nativebin.Decode(data)
 	if err != nil {
-		return fmt.Errorf("%w: UnsatisfiedLinkError: %s: %v", ErrAppCrash, path, err)
+		return fmt.Errorf("%w: UnsatisfiedLinkError: %s: %w", ErrAppCrash, path, err)
 	}
 	ll := &loadedLib{path: path, lib: lib}
 	ll.machine = nativebin.NewMachine(lib, &sysBridge{vm: m})
 	m.nativeLibs = append(m.nativeLibs, ll)
 	if _, ok := lib.FindSymbol("JNI_OnLoad"); ok {
 		if _, err := ll.machine.Call("JNI_OnLoad"); err != nil {
-			return fmt.Errorf("%w: JNI_OnLoad: %v", ErrAppCrash, err)
+			return fmt.Errorf("%w: JNI_OnLoad: %w", ErrAppCrash, err)
 		}
 	}
 	return nil
@@ -101,7 +101,7 @@ func (m *VM) jniInvoke(cls *dex.Class, method *dex.Method, args []Value) (Value,
 			case KindString:
 				addr, err := ll.machine.WriteString(a.Str)
 				if err != nil {
-					return Null, fmt.Errorf("%w: jni marshal: %v", ErrAppCrash, err)
+					return Null, fmt.Errorf("%w: jni marshal: %w", ErrAppCrash, err)
 				}
 				regs = append(regs, addr)
 			default:
@@ -110,7 +110,7 @@ func (m *VM) jniInvoke(cls *dex.Class, method *dex.Method, args []Value) (Value,
 		}
 		res, err := ll.machine.Call(sym, regs...)
 		if err != nil {
-			return Null, fmt.Errorf("%w: native %s: %v", ErrAppCrash, sym, err)
+			return Null, fmt.Errorf("%w: native %s: %w", ErrAppCrash, sym, err)
 		}
 		return IntVal(res), nil
 	}

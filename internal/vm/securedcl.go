@@ -36,7 +36,7 @@ func (m *VM) sysSecureDexClassLoaderInit(args []Value) (Value, bool, error) {
 		}
 		data, err := m.Device.Storage.ReadFile(path)
 		if err != nil {
-			return Null, true, fmt.Errorf("%w: %v", ErrAppCrash, err)
+			return Null, true, fmt.Errorf("%w: %w", ErrAppCrash, err)
 		}
 		sum := sha256.Sum256(data)
 		if got := hex.EncodeToString(sum[:]); got != expected {
@@ -46,7 +46,7 @@ func (m *VM) sysSecureDexClassLoaderInit(args []Value) (Value, bool, error) {
 	}
 	cl, err := m.newClassLoader(LoaderDex, dexPath, optDir, parentLoader(args, 4))
 	if err != nil {
-		return Null, true, fmt.Errorf("%w: %v", ErrAppCrash, err)
+		return Null, true, fmt.Errorf("%w: %w", ErrAppCrash, err)
 	}
 	self.Native = cl
 	return Null, true, nil

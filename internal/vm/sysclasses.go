@@ -172,7 +172,7 @@ func (m *VM) sysDexClassLoaderInit(args []Value) (Value, bool, error) {
 	m.Hooks.OnClassLoaderInit(LoaderDex, dexPath, optDir, m.StackTrace())
 	cl, err := m.newClassLoader(LoaderDex, dexPath, optDir, parentLoader(args, 4))
 	if err != nil {
-		return Null, true, fmt.Errorf("%w: %v", ErrAppCrash, err)
+		return Null, true, fmt.Errorf("%w: %w", ErrAppCrash, err)
 	}
 	self.Native = cl
 	return Null, true, nil
@@ -188,7 +188,7 @@ func (m *VM) sysPathClassLoaderInit(args []Value) (Value, bool, error) {
 	m.Hooks.OnClassLoaderInit(LoaderPath, dexPath, "", m.StackTrace())
 	cl, err := m.newClassLoader(LoaderPath, dexPath, "", parentLoader(args, 2))
 	if err != nil {
-		return Null, true, fmt.Errorf("%w: %v", ErrAppCrash, err)
+		return Null, true, fmt.Errorf("%w: %w", ErrAppCrash, err)
 	}
 	self.Native = cl
 	return Null, true, nil
@@ -548,7 +548,7 @@ func (m *VM) sysOutputStream(class, name string, args []Value) (Value, bool, err
 		if name == "close" && out.Path != "" {
 			out.CloseToFile() // OutputStream -> File
 			if err := m.Device.Storage.WriteFile(out.Path, out.Data, m.App.Package, m.App.HasExternalWrite()); err != nil {
-				return Null, true, fmt.Errorf("%w: IOException: %v", ErrAppCrash, err)
+				return Null, true, fmt.Errorf("%w: IOException: %w", ErrAppCrash, err)
 			}
 		}
 		return Null, true, nil
