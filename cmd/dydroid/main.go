@@ -5,8 +5,11 @@
 //
 // Usage:
 //
-//	dydroid [-seed 7] [-events 25] [-metrics] app1.apk [app2.apk ...]
+//	dydroid [-seed 7] [-events 25] [-metrics] [-json] app1.apk [app2.apk ...]
 //
+// With -json the per-app report is one JSON record per line — the same
+// record type the dydroidd vetting daemon serves from /v1/result, so a
+// local run and a daemon verdict for the same APK are byte-identical.
 // Malware detection trains DroidNative on the corpus's training families;
 // pass -no-train to skip it.
 package main
@@ -17,10 +20,12 @@ import (
 	"io"
 	"os"
 
+	"github.com/dydroid/dydroid/internal/apk"
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/corpus"
 	"github.com/dydroid/dydroid/internal/droidnative"
 	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/service"
 )
 
 func main() {
@@ -28,6 +33,7 @@ func main() {
 	events := flag.Int("events", 25, "monkey event budget per app")
 	noTrain := flag.Bool("no-train", false, "skip DroidNative training (disables malware detection)")
 	showMetrics := flag.Bool("metrics", false, "print the pipeline metrics snapshot (per-stage timings, status counts) to stderr after all apps")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON record per app (the dydroidd verdict format) instead of the text report")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dydroid [flags] app.apk ...")
@@ -72,12 +78,37 @@ func main() {
 			exit = 1
 			continue
 		}
+		if *jsonOut {
+			if err := printJSON(os.Stdout, data, res); err != nil {
+				fmt.Fprintf(os.Stderr, "dydroid: %s: %v\n", path, err)
+				exit = 1
+			}
+			continue
+		}
 		printResult(os.Stdout, path, res)
 	}
 	if *showMetrics {
 		fmt.Fprint(os.Stderr, reg.Snapshot())
 	}
 	os.Exit(exit)
+}
+
+// printJSON emits the daemon's record format: digest-keyed, one line per
+// app, byte-identical to what dydroidd serves for the same archive.
+func printJSON(w io.Writer, apkBytes []byte, res *core.AppResult) error {
+	digest, err := apk.SigningDigest(apkBytes)
+	if err != nil {
+		return err
+	}
+	raw, err := service.NewRecord(digest, res, nil).Marshal()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(raw); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
 }
 
 func printResult(w io.Writer, path string, res *core.AppResult) {

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"github.com/dydroid/dydroid/internal/apk"
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/corpus"
+	"github.com/dydroid/dydroid/internal/service"
 )
 
 func TestPrintResultRendersFindings(t *testing.T) {
@@ -43,6 +46,62 @@ func TestPrintResultRendersFindings(t *testing.T) {
 			if !strings.Contains(out.String(), want) {
 				t.Fatalf("report missing %q:\n%s", want, out.String())
 			}
+		}
+		return
+	}
+	t.Fatal("no chathook app in the store")
+}
+
+func TestPrintJSONEmitsServiceRecord(t *testing.T) {
+	st, err := corpus.Generate(corpus.Config{Seed: 3, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := st.TrainingSet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := core.NewAnalyzer(core.Options{
+		Seed: 3, Classifier: clf, Network: st.Network, SetupDevice: st.SetupDevice,
+	})
+	for _, app := range st.Apps {
+		if app.Spec.MalwareFamily != "chathook" {
+			continue
+		}
+		data, err := st.BuildAPK(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := an.AnalyzeAPK(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := printJSON(&out, data, res); err != nil {
+			t.Fatal(err)
+		}
+		line := strings.TrimSuffix(out.String(), "\n")
+		if strings.Contains(line, "\n") {
+			t.Fatal("record spans multiple lines")
+		}
+		var rec service.Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("output is not a service record: %v\n%s", err, line)
+		}
+		digest, err := apk.SigningDigest(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Digest != digest || rec.Status != "exercised" || len(rec.Malware) == 0 {
+			t.Fatalf("record = %+v", rec)
+		}
+		// Byte-identical to the record the daemon would serve (no review).
+		want, err := service.NewRecord(digest, res, nil).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line != string(want) {
+			t.Fatalf("json output differs from service record:\n got: %s\nwant: %s", line, want)
 		}
 		return
 	}

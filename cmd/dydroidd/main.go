@@ -1,0 +1,162 @@
+// Command dydroidd is the online vetting daemon: an always-on HTTP
+// service that accepts APK submissions, runs the marketplace Bouncer
+// review plus the full DyDroid pipeline over each one, and serves
+// verdicts from a durable content-addressed result store — the
+// store-operator deployment of the paper's measurement.
+//
+// Usage:
+//
+//	dydroidd [-addr :8437] [-workers N] [-queue 64] [-store DIR]
+//	         [-cache 512] [-seed 7] [-events 25] [-no-train] [-no-review]
+//
+// Endpoints: POST /v1/scan, GET /v1/result/{digest}, GET /v1/healthz,
+// GET /v1/metricz. Submit with curl:
+//
+//	curl --data-binary @app.apk http://localhost:8437/v1/scan
+//	curl http://localhost:8437/v1/result/<digest>
+//
+// Served verdicts are byte-identical to a fresh `dydroid -json` run on
+// the same APK with the same seed (with -no-review; otherwise the record
+// additionally carries the Bouncer "review" block, which the CLI does
+// not run). SIGINT/SIGTERM drain in-flight jobs before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/bouncer"
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/corpus"
+	"github.com/dydroid/dydroid/internal/droidnative"
+	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/resultstore"
+	"github.com/dydroid/dydroid/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8437", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker pool size")
+	queue := flag.Int("queue", 64, "submission queue depth (full queues answer 429)")
+	storeDir := flag.String("store", "", "result store directory (empty = in-memory verdicts only)")
+	cacheSize := flag.Int("cache", 512, "result store in-memory LRU entries")
+	seed := flag.Int64("seed", 7, "fuzzing seed (verdicts are deterministic per seed)")
+	events := flag.Int("events", 25, "monkey event budget per app")
+	noTrain := flag.Bool("no-train", false, "skip DroidNative training (disables malware detection)")
+	noReview := flag.Bool("no-review", false, "skip the Bouncer review phase")
+	flag.Parse()
+
+	opts := daemonOptions{
+		Addr: *addr, Workers: *workers, Queue: *queue, StoreDir: *storeDir,
+		CacheSize: *cacheSize, Seed: *seed, Events: *events,
+		NoTrain: *noTrain, NoReview: *noReview,
+	}
+	if err := run(context.Background(), opts); err != nil {
+		fmt.Fprintln(os.Stderr, "dydroidd:", err)
+		os.Exit(1)
+	}
+}
+
+// daemonOptions carries the flag set; tests drive run directly.
+type daemonOptions struct {
+	Addr      string
+	Workers   int
+	Queue     int
+	StoreDir  string
+	CacheSize int
+	Seed      int64
+	Events    int
+	NoTrain   bool
+	NoReview  bool
+	// Ready, when non-nil, receives the bound listen address once the
+	// daemon is serving.
+	Ready func(addr string)
+}
+
+// run serves until the parent context is cancelled or a signal arrives,
+// then drains.
+func run(parent context.Context, o daemonOptions) error {
+	// The same minimal marketplace cmd/dydroid uses: training families,
+	// the remote-payload network and companion apps.
+	store, err := corpus.Generate(corpus.Config{Seed: o.Seed, Scale: 0.001})
+	if err != nil {
+		return err
+	}
+	var clf *droidnative.Classifier
+	if !o.NoTrain {
+		if clf, err = store.TrainingSet(3); err != nil {
+			return err
+		}
+	}
+	reg := metrics.New()
+	var rs *resultstore.Store
+	if o.StoreDir != "" {
+		if rs, err = resultstore.Open(resultstore.Options{
+			Dir: o.StoreDir, Version: service.RecordVersion, CacheSize: o.CacheSize,
+		}); err != nil {
+			return err
+		}
+	}
+	var reviewer *bouncer.Reviewer
+	if !o.NoReview {
+		reviewer = &bouncer.Reviewer{Classifier: clf, Network: store.Network, Metrics: reg}
+	}
+	svc, err := service.New(service.Config{
+		Analyzer: core.NewAnalyzer(core.Options{
+			Seed: o.Seed, MonkeyEvents: o.Events, Classifier: clf,
+			Network: store.Network, SetupDevice: store.SetupDevice, Metrics: reg,
+		}),
+		Reviewer:   reviewer,
+		Store:      rs,
+		Workers:    o.Workers,
+		QueueDepth: o.Queue,
+		Metrics:    reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "dydroidd: listening on %s (workers=%d queue=%d store=%q)\n",
+			ln.Addr(), o.Workers, o.Queue, o.StoreDir)
+		if o.Ready != nil {
+			o.Ready(ln.Addr().String())
+		}
+		errc <- httpSrv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "dydroidd: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "dydroidd: drained, bye")
+	return nil
+}

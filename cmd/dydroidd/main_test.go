@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+)
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, submits an
+// APK, polls the verdict, and cancels the context (the SIGTERM path) —
+// run must drain and return nil.
+func TestDaemonLifecycle(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		done <- run(ctx, daemonOptions{
+			Addr:     "127.0.0.1:0",
+			Workers:  2,
+			Queue:    8,
+			StoreDir: filepath.Join(t.TempDir(), "store"),
+			Seed:     7,
+			Events:   25,
+			Ready:    func(addr string) { ready <- addr },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	base := "http://" + addr
+
+	// Health first.
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Submit a small app and poll its verdict.
+	b := dex.NewBuilder()
+	b.Class("com.cli.Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	apkBytes, err := apk.Build(&apk.APK{
+		Manifest: apk.Manifest{Package: "com.cli", MinSDK: 16,
+			Application: apk.Application{Activities: []apk.Component{{Name: "com.cli.Main", Main: true}}}},
+		Dex: dexBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/scan", "application/octet-stream", bytes.NewReader(apkBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan: %d", resp.StatusCode)
+	}
+	digest, err := apk.SigningDigest(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/result/" + digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if !bytes.Contains(body, []byte(`"package":"com.cli"`)) {
+				t.Fatalf("verdict = %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("verdict never arrived: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Context cancellation drains the daemon.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+}

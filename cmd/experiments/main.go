@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-scale 1.0] [-seed 2016] [-workers N] [-table N | -figure 3] [-o report.txt] [-metrics] [-failfast]
+//	experiments [-scale 1.0] [-seed 2016] [-workers N] [-table N | -figure 3]
+//	            [-o report.txt] [-metrics] [-failfast] [-warm DIR]
 //
 // With no -table/-figure flag the complete report (Tables I-X and
-// Figure 3) is printed.
+// Figure 3) is printed. With -warm the run keeps a content-addressed
+// result store in DIR: re-runs with the same seed and event budget skip
+// already-analyzed apps.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"runtime"
 
 	"github.com/dydroid/dydroid/internal/experiments"
+	"github.com/dydroid/dydroid/internal/resultstore"
 )
 
 func main() {
@@ -29,11 +33,20 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	showMetrics := flag.Bool("metrics", false, "print the run's metrics snapshot (per-stage timings, throughput, failure counts) to stderr")
 	failFast := flag.Bool("failfast", false, "abort on the first per-app failure instead of recording it and continuing")
+	warmDir := flag.String("warm", "", "warm-start result store directory (re-runs skip already-analyzed apps)")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers}
 	if *failFast {
 		cfg.OnFailure = experiments.FailFast
+	}
+	if *warmDir != "" {
+		ws, err := resultstore.Open(resultstore.Options{Dir: *warmDir, Version: experiments.WarmVersion})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		cfg.Warm = ws
 	}
 	if !*quiet {
 		cfg.Progress = func(done, total int) {

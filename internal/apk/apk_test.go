@@ -317,3 +317,70 @@ func newZipWith(buf *bytes.Buffer, entries map[string][]byte) error {
 	}
 	return zw.Close()
 }
+
+func TestSigningDigest(t *testing.T) {
+	a := sampleAPK()
+	data, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := SigningDigest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != 64 || strings.ToLower(d1) != d1 {
+		t.Fatalf("digest %q is not lowercase hex sha256", d1)
+	}
+	// Identical signed contents → identical digest.
+	again, err := Build(sampleAPK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := SigningDigest(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest not deterministic: %s vs %s", d1, d2)
+	}
+	// Any content change moves the digest.
+	b := sampleAPK()
+	b.Assets["payload.bin"] = []byte{4, 5, 6}
+	changed, err := Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := SigningDigest(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("digest unchanged after content change")
+	}
+}
+
+func TestSigningDigestUnsignedFallback(t *testing.T) {
+	// A zip without the signature entry still gets a total identity.
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	w, err := zw.Create(ManifestEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("<manifest/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := SigningDigest(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 64 {
+		t.Fatalf("digest %q", d)
+	}
+	if _, err := SigningDigest([]byte("not a zip")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

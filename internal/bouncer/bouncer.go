@@ -16,6 +16,7 @@ import (
 	"github.com/dydroid/dydroid/internal/dex"
 	"github.com/dydroid/dydroid/internal/droidnative"
 	"github.com/dydroid/dydroid/internal/mail"
+	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/monkey"
 	"github.com/dydroid/dydroid/internal/nativebin"
 	"github.com/dydroid/dydroid/internal/netsim"
@@ -39,6 +40,10 @@ type Reviewer struct {
 	// MonkeyEvents bounds the dynamic phase (default 10 — reviews are
 	// brief, which is exactly the window evasion exploits).
 	MonkeyEvents int
+	// Metrics, when non-nil, receives review stage timings
+	// (bouncer.review / bouncer.static / bouncer.dynamic) and the
+	// bouncer.approved / bouncer.rejected / bouncer.errors counters.
+	Metrics *metrics.Registry
 }
 
 // maliciousEventKinds are runtime behaviours that fail review on sight.
@@ -49,31 +54,34 @@ var maliciousEventKinds = map[string]bool{
 
 // Review checks one submitted archive.
 func (r *Reviewer) Review(apkBytes []byte) (Verdict, error) {
+	defer r.Metrics.Time("bouncer.review")()
+	v, err := r.review(apkBytes)
+	switch {
+	case err != nil:
+		r.Metrics.Add("bouncer.errors", 1)
+	case v.Approved:
+		r.Metrics.Add("bouncer.approved", 1)
+	default:
+		r.Metrics.Add("bouncer.rejected", 1)
+	}
+	return v, err
+}
+
+func (r *Reviewer) review(apkBytes []byte) (Verdict, error) {
 	a, err := apk.Parse(apkBytes)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("bouncer: %w", err)
 	}
 	// Phase 1: static scan of every binary in the archive.
-	if a.Dex != nil {
-		if df, err := dex.Decode(a.Dex); err == nil {
-			if det := r.Classifier.Classify(mail.FromDex(df)); det.Malware {
-				return Verdict{Reason: fmt.Sprintf("static scan: classes.dex matches %s (%.0f%%)",
-					det.Family, det.Score*100)}, nil
-			}
-		}
-	}
-	for name, libBytes := range a.NativeLibs {
-		lib, err := nativebin.Decode(libBytes)
-		if err != nil {
-			continue
-		}
-		if det := r.Classifier.Classify(mail.FromNative(lib)); det.Malware {
-			return Verdict{Reason: fmt.Sprintf("static scan: %s matches %s (%.0f%%)",
-				name, det.Family, det.Score*100)}, nil
-		}
+	stopStatic := r.Metrics.Time("bouncer.static")
+	v, rejected := r.staticScan(a)
+	stopStatic()
+	if rejected {
+		return v, nil
 	}
 
 	// Phase 2: brief dynamic run in a sandbox device.
+	defer r.Metrics.Time("bouncer.dynamic")()
 	dev := android.NewDevice()
 	var net *netsim.Network
 	if r.Network != nil {
@@ -128,6 +136,30 @@ func (r *Reviewer) Review(apkBytes []byte) (Verdict, error) {
 		}
 	}
 	return Verdict{Approved: true}, nil
+}
+
+// staticScan classifies every binary packaged in the archive; rejected
+// reports whether the scan already produced a failing verdict.
+func (r *Reviewer) staticScan(a *apk.APK) (v Verdict, rejected bool) {
+	if a.Dex != nil {
+		if df, err := dex.Decode(a.Dex); err == nil {
+			if det := r.Classifier.Classify(mail.FromDex(df)); det.Malware {
+				return Verdict{Reason: fmt.Sprintf("static scan: classes.dex matches %s (%.0f%%)",
+					det.Family, det.Score*100)}, true
+			}
+		}
+	}
+	for name, libBytes := range a.NativeLibs {
+		lib, err := nativebin.Decode(libBytes)
+		if err != nil {
+			continue
+		}
+		if det := r.Classifier.Classify(mail.FromNative(lib)); det.Malware {
+			return Verdict{Reason: fmt.Sprintf("static scan: %s matches %s (%.0f%%)",
+				name, det.Family, det.Score*100)}, true
+		}
+	}
+	return Verdict{}, false
 }
 
 // reviewHooks records loaded paths during the sandbox run (the review's

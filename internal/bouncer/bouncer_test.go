@@ -10,6 +10,7 @@ import (
 	"github.com/dydroid/dydroid/internal/dex"
 	"github.com/dydroid/dydroid/internal/droidnative"
 	"github.com/dydroid/dydroid/internal/mail"
+	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/nativebin"
 	"github.com/dydroid/dydroid/internal/netsim"
 )
@@ -330,5 +331,53 @@ func TestBouncerRejectsLocallyLoadedMalware(t *testing.T) {
 func TestBouncerRejectsGarbage(t *testing.T) {
 	if _, err := (&Reviewer{Classifier: trainedClassifier(t)}).Review([]byte("junk")); err == nil {
 		t.Fatal("garbage archive accepted")
+	}
+}
+
+func TestReviewRecordsMetrics(t *testing.T) {
+	reg := metrics.New()
+	r := &Reviewer{Classifier: trainedClassifier(t), Metrics: reg}
+
+	// A rejection from the static phase: no dynamic timing recorded.
+	if v, err := r.Review(appM(t)); err != nil || v.Approved {
+		t.Fatalf("verdict = %+v, err %v", v, err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["bouncer.rejected"] != 1 || snap.Counters["bouncer.approved"] != 0 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if snap.Stages["bouncer.static"].Count != 1 || snap.Stages["bouncer.review"].Count != 1 {
+		t.Fatalf("stages = %+v", snap.Stages)
+	}
+	if snap.Stages["bouncer.dynamic"].Count != 0 {
+		t.Fatal("dynamic phase timed for a static rejection")
+	}
+
+	// An approval exercises both phases.
+	if v, err := r.Review(appL(t, "http://updates.evil.example/update.dex")); err != nil || !v.Approved {
+		t.Fatalf("verdict = %+v, err %v", v, err)
+	}
+	snap = reg.Snapshot()
+	if snap.Counters["bouncer.approved"] != 1 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if snap.Stages["bouncer.dynamic"].Count != 1 || snap.Stages["bouncer.review"].Count != 2 {
+		t.Fatalf("stages = %+v", snap.Stages)
+	}
+
+	// A parse failure counts as an error, not a verdict.
+	if _, err := r.Review([]byte("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if got := reg.Counter("bouncer.errors"); got != 1 {
+		t.Fatalf("bouncer.errors = %d", got)
+	}
+}
+
+func TestReviewNilMetricsIsFine(t *testing.T) {
+	// The registry is optional; a nil one must cost nothing and not panic.
+	r := &Reviewer{Classifier: trainedClassifier(t)}
+	if v, err := r.Review(appM(t)); err != nil || v.Approved {
+		t.Fatalf("verdict = %+v, err %v", v, err)
 	}
 }

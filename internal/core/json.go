@@ -1,0 +1,41 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// AppResult carries one error-typed field (Crash), which encoding/json
+// cannot round-trip. The custom (un)marshalers below flatten it to its
+// message so results can live in the content-addressed result store and
+// be served by the vetting daemon; everything else marshals natively.
+
+type appResultAlias AppResult
+
+type appResultJSON struct {
+	*appResultAlias
+	// Crash shadows the error field of the embedded alias.
+	Crash string `json:"Crash,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *AppResult) MarshalJSON() ([]byte, error) {
+	out := appResultJSON{appResultAlias: (*appResultAlias)(r)}
+	if r.Crash != nil {
+		out.Crash = r.Crash.Error()
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. A restored crash is a plain
+// opaque error: the message survives, wrapped sentinels do not.
+func (r *AppResult) UnmarshalJSON(data []byte) error {
+	aux := appResultJSON{appResultAlias: (*appResultAlias)(r)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	if aux.Crash != "" {
+		r.Crash = errors.New(aux.Crash)
+	}
+	return nil
+}

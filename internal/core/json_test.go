@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/android"
+	"github.com/dydroid/dydroid/internal/taint"
+	"github.com/dydroid/dydroid/internal/vm"
+)
+
+func TestAppResultJSONRoundTrip(t *testing.T) {
+	in := &AppResult{
+		Package: "com.example",
+		Status:  StatusCrash,
+		Crash:   errors.New("boom at launch"),
+		Events: []*DCLEvent{{
+			Kind: KindDex, API: "DexClassLoader", Path: "/data/data/com.example/cache/a.dex",
+			CallSite: "com.ads.Loader", Entity: EntityThirdParty,
+			Provenance: ProvenanceRemote, SourceURL: "http://cdn.example/a.dex",
+			Stack: []vm.StackElement{{Class: "com.ads.Loader", Method: "fetch"}},
+		}},
+		Malware: []MalwareHit{{Path: "/x", Kind: KindDex, Family: "swiss", Score: 0.93}},
+		Vulns:   []Vulnerability{{Kind: VulnExternalStorage, Code: KindDex, Path: "/mnt/sdcard/p.dex"}},
+		Privacy: &taint.Result{
+			Leaks:       []taint.Leak{{Type: "imei", Class: "com.ads.Track", Method: "send"}},
+			SourcesSeen: map[android.DataType]bool{"imei": true},
+		},
+		PrivacyByEntity: map[string]bool{"imei": true},
+		RuntimeEvents:   []vm.Event{{Kind: "sms", Detail: "+900"}},
+	}
+
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out AppResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Crash == nil || out.Crash.Error() != "boom at launch" {
+		t.Fatalf("crash = %v", out.Crash)
+	}
+	// Compare everything else structurally with the error detached.
+	in2 := *in
+	in2.Crash = nil
+	out.Crash = nil
+	if !reflect.DeepEqual(&in2, &out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in2, out)
+	}
+}
+
+func TestAppResultJSONNoCrash(t *testing.T) {
+	in := &AppResult{Package: "com.ok", Status: StatusExercised}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out AppResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Crash != nil {
+		t.Fatalf("crash = %v", out.Crash)
+	}
+	if out.Package != "com.ok" || out.Status != StatusExercised {
+		t.Fatalf("out = %+v", out)
+	}
+	// Marshal must be deterministic (the byte-identical serving contract).
+	again, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatal("marshal not deterministic")
+	}
+}

@@ -8,6 +8,9 @@ import (
 	"github.com/dydroid/dydroid/internal/corpus"
 )
 
+// raceDetectorEnabled is flipped by race_test.go under `go test -race`.
+var raceDetectorEnabled bool
+
 // TestFullScaleReproduction runs the complete 58,739-app measurement and
 // asserts exact equality with every count the paper publishes in Tables
 // II, IV, V, VI, VII, VIII, IX and X. It takes about 90 seconds on one
@@ -15,6 +18,12 @@ import (
 func TestFullScaleReproduction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale measurement skipped in -short mode")
+	}
+	if raceDetectorEnabled {
+		// ~10x race-detector slowdown pushes the 58,739-app run past the
+		// default package timeout; the scaled runner tests already exercise
+		// every concurrent path under -race.
+		t.Skip("full-scale measurement skipped under the race detector")
 	}
 	res, err := Run(Config{Seed: 2016, Scale: 1.0, Workers: 8})
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"github.com/dydroid/dydroid/internal/corpus"
 	"github.com/dydroid/dydroid/internal/droidnative"
 	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/resultstore"
 	"github.com/dydroid/dydroid/internal/stats"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 	// otherwise Run creates a private one. Either way the snapshot lands
 	// in Results.RunStats.
 	Metrics *metrics.Registry
+	// Warm, when non-nil, is a resultstore-backed warm-start: apps whose
+	// content digest already has a record from a previous run (same Seed
+	// and MonkeyEvents) skip analysis, and fresh results are stored for
+	// the next run. Counters warm.hits/warm.misses/warm.stores/warm.errors
+	// land in RunStats. Open the store with Version experiments.WarmVersion.
+	Warm *resultstore.Store
 
 	// analyze is the per-app analysis function, replaceable in tests to
 	// inject failures.
@@ -228,24 +235,36 @@ func Run(cfg Config) (*Results, error) {
 				continue // drain without analyzing once cancelled
 			}
 			app := store.Apps[i]
-			rec, err := analyze(an, store, app)
-			for attempt := 2; err != nil && attempt <= cfg.MaxAttempts && ctx.Err() == nil; attempt++ {
-				reg.Add("apps.retried", 1)
-				mu.Lock()
-				retried++
-				mu.Unlock()
-				rec, err = analyze(an, store, app)
+			var (
+				rec    *AppRecord
+				digest string
+			)
+			if cfg.Warm != nil {
+				rec, digest = warmLookup(cfg.Warm, cfg, store, app, reg)
 			}
-			if err != nil {
-				reg.Add("apps.failed", 1)
-				mu.Lock()
-				failed++
-				errs = append(errs, fmt.Errorf("experiments: %s: %w", app.Spec.Pkg, err))
-				mu.Unlock()
-				if cfg.OnFailure == FailFast {
-					cancel()
-				} else {
-					rec = failureRecord(app, err)
+			if rec == nil {
+				var err error
+				rec, err = analyze(an, store, app)
+				for attempt := 2; err != nil && attempt <= cfg.MaxAttempts && ctx.Err() == nil; attempt++ {
+					reg.Add("apps.retried", 1)
+					mu.Lock()
+					retried++
+					mu.Unlock()
+					rec, err = analyze(an, store, app)
+				}
+				if err != nil {
+					reg.Add("apps.failed", 1)
+					mu.Lock()
+					failed++
+					errs = append(errs, fmt.Errorf("experiments: %s: %w", app.Spec.Pkg, err))
+					mu.Unlock()
+					if cfg.OnFailure == FailFast {
+						cancel()
+					} else {
+						rec = failureRecord(app, err)
+					}
+				} else if cfg.Warm != nil {
+					warmSave(cfg.Warm, cfg, digest, rec, reg)
 				}
 			}
 			records[i] = rec

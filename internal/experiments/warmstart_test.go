@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/corpus"
+	"github.com/dydroid/dydroid/internal/resultstore"
+)
+
+func openWarmStore(t *testing.T) *resultstore.Store {
+	t.Helper()
+	ws, err := resultstore.Open(resultstore.Options{
+		Dir:     filepath.Join(t.TempDir(), "warm"),
+		Version: WarmVersion,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return ws
+}
+
+// TestWarmStartSkipsAnalyzedApps: a cold run populates the warm store;
+// a second run over the same corpus performs zero analyses and yields
+// equivalent records.
+func TestWarmStartSkipsAnalyzedApps(t *testing.T) {
+	ws := openWarmStore(t)
+	cfg := Config{Seed: 11, Scale: 0.002, Workers: 4, Warm: ws}
+
+	var cold atomic.Int64
+	cfg.analyze = func(an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+		cold.Add(1)
+		return analyzeOne(an, st, app)
+	}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("cold Run: %v", err)
+	}
+	total := len(r1.Records)
+	if total == 0 {
+		t.Fatal("no records")
+	}
+	if got := cold.Load(); got != int64(total) {
+		t.Fatalf("cold run analyzed %d of %d apps", got, total)
+	}
+	c := r1.RunStats.Counters
+	if c["warm.stores"] != int64(total) || c["warm.hits"] != 0 || c["warm.misses"] != int64(total) {
+		t.Fatalf("cold counters: stores=%d hits=%d misses=%d want %d/0/%d",
+			c["warm.stores"], c["warm.hits"], c["warm.misses"], total, total)
+	}
+
+	var warm atomic.Int64
+	cfg.Metrics = nil
+	cfg.analyze = func(an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+		warm.Add(1)
+		return analyzeOne(an, st, app)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("warm Run: %v", err)
+	}
+	if got := warm.Load(); got != 0 {
+		t.Fatalf("warm run re-analyzed %d apps", got)
+	}
+	c = r2.RunStats.Counters
+	if c["warm.hits"] != int64(total) || c["warm.misses"] != 0 || c["warm.errors"] != 0 {
+		t.Fatalf("warm counters: hits=%d misses=%d errors=%d want %d/0/0",
+			c["warm.hits"], c["warm.misses"], c["warm.errors"], total)
+	}
+	if len(r2.Records) != total {
+		t.Fatalf("warm run produced %d records, want %d", len(r2.Records), total)
+	}
+	for i := range r2.Records {
+		a, b := r1.Records[i], r2.Records[i]
+		if a.Meta != b.Meta {
+			t.Fatalf("record %d meta drifted: %+v vs %+v", i, a.Meta, b.Meta)
+		}
+		if a.Result.Status != b.Result.Status || a.Result.Package != b.Result.Package {
+			t.Fatalf("record %d result drifted: %s/%s vs %s/%s", i,
+				a.Result.Package, a.Result.Status, b.Result.Package, b.Result.Status)
+		}
+		if len(a.Result.Events) != len(b.Result.Events) {
+			t.Fatalf("record %d events drifted: %d vs %d", i, len(a.Result.Events), len(b.Result.Events))
+		}
+		if !reflect.DeepEqual(a.MalwarePaths, b.MalwarePaths) {
+			t.Fatalf("record %d malware paths drifted", i)
+		}
+		if !reflect.DeepEqual(a.ReplayLoaded, b.ReplayLoaded) {
+			t.Fatalf("record %d replay results drifted", i)
+		}
+	}
+}
+
+// TestWarmStartConfigMismatchIsMiss: records cached under one fuzzing
+// configuration must not satisfy a run with another.
+func TestWarmStartConfigMismatchIsMiss(t *testing.T) {
+	ws := openWarmStore(t)
+	cfg := Config{Seed: 11, Scale: 0.002, Workers: 2, Warm: ws}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	total := len(r1.Records)
+
+	cfg.MonkeyEvents = 40 // different budget → cache must not serve
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	c := r2.RunStats.Counters
+	if c["warm.hits"] != 0 || c["warm.misses"] != int64(total) {
+		t.Fatalf("mismatched config served from cache: hits=%d misses=%d", c["warm.hits"], c["warm.misses"])
+	}
+}
+
+// TestWarmStartDoesNotCacheFailures: failure records are not stored, so
+// a later run retries the app and caches the successful result.
+func TestWarmStartDoesNotCacheFailures(t *testing.T) {
+	ws := openWarmStore(t)
+	cfg := Config{Seed: 11, Scale: 0.002, Workers: 2, MaxAttempts: 1, Warm: ws}
+	cfg.analyze = func(an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+		if appIndex(st, app) == 0 {
+			return nil, errors.New("injected failure")
+		}
+		return analyzeOne(an, st, app)
+	}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	total := len(r1.Records)
+	if r1.RunStats.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", r1.RunStats.Failed)
+	}
+	if got := r1.RunStats.Counters["warm.stores"]; got != int64(total-1) {
+		t.Fatalf("stored %d records, want %d (failures must not be cached)", got, total-1)
+	}
+
+	cfg.analyze = nil
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	c := r2.RunStats.Counters
+	if c["warm.hits"] != int64(total-1) || c["warm.misses"] != 1 || c["warm.stores"] != 1 {
+		t.Fatalf("retry counters: hits=%d misses=%d stores=%d want %d/1/1",
+			c["warm.hits"], c["warm.misses"], c["warm.stores"], total-1)
+	}
+	if err := r2.Err(); err != nil {
+		t.Fatalf("retried run still failing: %v", err)
+	}
+}

@@ -53,6 +53,22 @@ func (r *Registry) Add(name string, delta int64) {
 	atomic.AddInt64(c, delta)
 }
 
+// Counter returns the current value of the named counter (zero when it
+// was never incremented). It gives services and tests point reads without
+// paying for a full Snapshot.
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(c)
+}
+
 // Observe records one duration into the named histogram.
 func (r *Registry) Observe(name string, d time.Duration) {
 	if r == nil {

@@ -104,3 +104,19 @@ func TestObserveConcurrent(t *testing.T) {
 		t.Fatalf("count = %d, want 4000", st.Count)
 	}
 }
+
+func TestCounterPointRead(t *testing.T) {
+	r := New()
+	if got := r.Counter("absent"); got != 0 {
+		t.Fatalf("absent counter = %d", got)
+	}
+	r.Add("scan.cached", 2)
+	r.Add("scan.cached", 3)
+	if got := r.Counter("scan.cached"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var nilReg *Registry
+	if got := nilReg.Counter("x"); got != 0 {
+		t.Fatalf("nil registry counter = %d", got)
+	}
+}

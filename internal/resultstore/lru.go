@@ -1,0 +1,71 @@
+package resultstore
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// lruCache is the in-memory front of the store: a bounded map of digest →
+// record data with least-recently-used eviction.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	digest string
+	data   json.RawMessage
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(digest string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[digest]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).data, true
+}
+
+func (c *lruCache) put(digest string, data json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[digest]; ok {
+		el.Value.(*lruEntry).data = data
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[digest] = c.order.PushFront(&lruEntry{digest: digest, data: data})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).digest)
+	}
+}
+
+func (c *lruCache) remove(digest string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[digest]; ok {
+		c.order.Remove(el)
+		delete(c.items, digest)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,347 @@
+// Package service is the online vetting daemon: an HTTP front over the
+// DyDroid pipeline (core.Analyzer) and the marketplace review
+// (bouncer.Reviewer), backed by the content-addressed result store. It is
+// the store-operator deployment shape of the paper's measurement —
+// submissions are deduplicated by APK signing digest, analyzed once by a
+// bounded worker pool, and every verdict is served from cache thereafter.
+//
+// Endpoints:
+//
+//	POST /v1/scan            submit APK bytes; 200 + cached verdict,
+//	                         or 202 + job id (the digest), or 429 when
+//	                         the queue is full
+//	GET  /v1/result/{digest} fetch a verdict; 202 while in flight
+//	GET  /v1/healthz         liveness + queue occupancy
+//	GET  /v1/metricz         text rendering of the metrics registry
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/bouncer"
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/resultstore"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Analyzer runs the DyDroid pipeline on each submission (required).
+	Analyzer *core.Analyzer
+	// Reviewer, when non-nil, runs the store-side Bouncer review before
+	// the pipeline; its verdict travels in the served record.
+	Reviewer *bouncer.Reviewer
+	// Store persists verdicts across restarts. Nil keeps them in memory
+	// only (development mode).
+	Store *resultstore.Store
+	// Workers is the analysis parallelism (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the submission queue; full queues answer 429
+	// (default 64).
+	QueueDepth int
+	// Metrics receives service counters and job timings; the analyzer and
+	// reviewer keep their own wiring. Optional.
+	Metrics *metrics.Registry
+	// MaxBodyBytes bounds one submission (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the vetting daemon. Create with New, mount Handler on an
+// http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[string]*job
+	// results is the verdict authority when no Store is configured;
+	// failed pins pipeline errors so GETs can distinguish "analysis
+	// failed" from "never seen".
+	results map[string]json.RawMessage
+	failed  map[string]string
+
+	// analyze is the per-submission work function; tests replace it to
+	// block workers or inject failures.
+	analyze func(digest string, data []byte) (*Record, error)
+}
+
+type job struct {
+	digest string
+	data   []byte
+}
+
+// New validates the config and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Analyzer == nil {
+		return nil, errors.New("service: Config.Analyzer is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Metrics,
+		jobs:     make(chan *job, cfg.QueueDepth),
+		inflight: make(map[string]*job),
+		results:  make(map[string]json.RawMessage),
+		failed:   make(map[string]string),
+	}
+	s.analyze = s.analyzeAPK
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scan", s.handleScan)
+	mux.HandleFunc("GET /v1/result/{digest}", s.handleResult)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metricz", s.handleMetricz)
+	return mux
+}
+
+// Shutdown stops accepting submissions, drains every queued and in-flight
+// job, and returns once the workers exit (or the context expires).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown: %w", ctx.Err())
+	}
+}
+
+// scanResponse is the body of non-cached submission answers and pending
+// result polls.
+type scanResponse struct {
+	Digest string `json:"digest"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	s.reg.Add("service.scan.requests", 1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		s.reg.Add("service.scan.invalid", 1)
+		httpError(w, http.StatusRequestEntityTooLarge, "submission exceeds size limit")
+		return
+	}
+	digest, err := apk.SigningDigest(body)
+	if err != nil {
+		s.reg.Add("service.scan.invalid", 1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Fast path: an in-flight twin (singleflight) or a cached verdict.
+	s.mu.Lock()
+	_, pending := s.inflight[digest]
+	s.mu.Unlock()
+	if pending {
+		s.reg.Add("service.scan.deduped", 1)
+		writeJSON(w, http.StatusAccepted, scanResponse{Digest: digest, Status: "pending"})
+		return
+	}
+	if raw, ok := s.lookup(digest); ok {
+		s.reg.Add("service.scan.cached", 1)
+		writeRaw(w, http.StatusOK, raw)
+		return
+	}
+
+	// Slow path: enqueue, unless a twin won the race, the queue is full,
+	// or the daemon is draining.
+	j := &job{digest: digest, data: body}
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case s.inflight[digest] != nil:
+		s.mu.Unlock()
+		s.reg.Add("service.scan.deduped", 1)
+		writeJSON(w, http.StatusAccepted, scanResponse{Digest: digest, Status: "pending"})
+		return
+	}
+	select {
+	case s.jobs <- j:
+		s.inflight[digest] = j
+		delete(s.failed, digest) // a resubmission retries a failed digest
+		s.mu.Unlock()
+		s.reg.Add("service.scan.queued", 1)
+		writeJSON(w, http.StatusAccepted, scanResponse{Digest: digest, Status: "queued"})
+	default:
+		s.mu.Unlock()
+		s.reg.Add("service.scan.rejected", 1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "submission queue is full")
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	s.mu.Lock()
+	_, pending := s.inflight[digest]
+	failMsg, failedOnce := s.failed[digest]
+	s.mu.Unlock()
+	if pending {
+		writeJSON(w, http.StatusAccepted, scanResponse{Digest: digest, Status: "pending"})
+		return
+	}
+	if raw, ok := s.lookup(digest); ok {
+		writeRaw(w, http.StatusOK, raw)
+		return
+	}
+	if failedOnce {
+		writeJSON(w, http.StatusBadGateway, scanResponse{Digest: digest, Status: "failed", Error: failMsg})
+		return
+	}
+	httpError(w, http.StatusNotFound, "unknown digest")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	inflight := len(s.inflight)
+	s.mu.Unlock()
+	status := "ok"
+	if closed {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"queue_len":   len(s.jobs),
+		"queue_depth": cap(s.jobs),
+		"inflight":    inflight,
+		"workers":     s.cfg.Workers,
+	})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, s.reg.Snapshot().String())
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		fmt.Fprintf(w, "\nresultstore\thits=%d misses=%d cache-hits=%d puts=%d stale=%d quarantined=%d\n",
+			st.Hits, st.Misses, st.CacheHits, st.Puts, st.Stale, st.Quarantined)
+	}
+}
+
+// lookup finds a completed verdict in the store (or the in-memory map
+// when no store is configured).
+func (s *Server) lookup(digest string) (json.RawMessage, bool) {
+	if s.cfg.Store != nil {
+		raw, err := s.cfg.Store.Get(digest)
+		if err == nil {
+			return raw, true
+		}
+		return nil, false
+	}
+	s.mu.Lock()
+	raw, ok := s.results[digest]
+	s.mu.Unlock()
+	return raw, ok
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		stop := s.reg.Time("service.job")
+		rec, err := s.analyze(j.digest, j.data)
+		var raw json.RawMessage
+		if err == nil {
+			raw, err = rec.Marshal()
+		}
+		if err == nil && s.cfg.Store != nil {
+			err = s.cfg.Store.Put(j.digest, raw)
+		}
+		s.mu.Lock()
+		delete(s.inflight, j.digest)
+		if err != nil {
+			s.failed[j.digest] = err.Error()
+		} else if s.cfg.Store == nil {
+			s.results[j.digest] = raw
+		}
+		s.mu.Unlock()
+		if err != nil {
+			s.reg.Add("service.analyze.errors", 1)
+		} else {
+			s.reg.Add("service.analyzed", 1)
+		}
+		stop()
+	}
+}
+
+// analyzeAPK is the real work function: optional Bouncer review, then the
+// full pipeline.
+func (s *Server) analyzeAPK(digest string, data []byte) (*Record, error) {
+	var verdict *bouncer.Verdict
+	if s.cfg.Reviewer != nil {
+		v, err := s.cfg.Reviewer.Review(data)
+		if err != nil {
+			return nil, fmt.Errorf("service: review: %w", err)
+		}
+		verdict = &v
+	}
+	res, err := s.cfg.Analyzer.AnalyzeAPK(data)
+	if err != nil {
+		return nil, fmt.Errorf("service: analyze: %w", err)
+	}
+	return NewRecord(digest, res, verdict), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeRaw serves a stored verdict verbatim — the byte-identical
+// contract with a fresh pipeline run.
+func writeRaw(w http.ResponseWriter, code int, raw json.RawMessage) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(raw)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

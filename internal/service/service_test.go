@@ -1,0 +1,474 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/bouncer"
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/corpus"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/resultstore"
+)
+
+// tinyAPK builds a minimal distinct archive per package name (no DCL, so
+// the pipeline finishes instantly when a real analyzer runs).
+func tinyAPK(t *testing.T, pkg string) []byte {
+	t.Helper()
+	b := dex.NewBuilder()
+	b.Class(pkg+".Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := apk.Build(&apk.APK{
+		Manifest: apk.Manifest{Package: pkg, MinSDK: 16,
+			Application: apk.Application{Activities: []apk.Component{{Name: pkg + ".Main", Main: true}}}},
+		Dex: dexBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// newStubServer builds a server whose analyze function is replaced; the
+// zero-value analyzer satisfies New but never runs.
+func newStubServer(t *testing.T, cfg Config, analyze func(string, []byte) (*Record, error)) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Analyzer == nil {
+		cfg.Analyzer = core.NewAnalyzer(core.Options{})
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analyze != nil {
+		s.analyze = analyze
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postScan(t *testing.T, ts *httptest.Server, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/scan", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getResult(t *testing.T, ts *httptest.Server, digest string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/result/" + digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// pollResult polls until the verdict lands (or the deadline passes).
+func pollResult(t *testing.T, ts *httptest.Server, digest string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, body := getResult(t, ts, digest)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return body
+		case http.StatusAccepted:
+			time.Sleep(10 * time.Millisecond)
+		default:
+			t.Fatalf("result poll: %d %s", resp.StatusCode, body)
+		}
+	}
+	t.Fatal("verdict never arrived")
+	return nil
+}
+
+// TestServiceEndToEnd is the acceptance scenario: a malware APK from the
+// corpus submitted twice. The first submission analyzes and the verdict
+// is byte-identical to a fresh direct pipeline run; the second submission
+// is served from the result store without re-analysis.
+func TestServiceEndToEnd(t *testing.T) {
+	st, err := corpus.Generate(corpus.Config{Seed: 3, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := st.TrainingSet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefer a packed malware sample (the packer-evasion shape); any
+	// malware app exercises the full verdict surface.
+	var target *corpus.StoreApp
+	for _, app := range st.Apps {
+		if app.Spec.MalwareFamily == "" {
+			continue
+		}
+		if target == nil || (app.Spec.Packed && !target.Spec.Packed) {
+			target = app
+		}
+	}
+	if target == nil {
+		t.Fatal("no malware app in the store")
+	}
+	apkBytes, err := st.BuildAPK(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const seed = 3
+	reg := metrics.New()
+	store, err := resultstore.Open(resultstore.Options{Dir: t.TempDir(), Version: RecordVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newAnalyzer := func(m *metrics.Registry) *core.Analyzer {
+		return core.NewAnalyzer(core.Options{
+			Seed: seed, Classifier: clf, Network: st.Network, SetupDevice: st.SetupDevice, Metrics: m,
+		})
+	}
+	s, err := New(Config{
+		Analyzer: newAnalyzer(reg),
+		Reviewer: &bouncer.Reviewer{Classifier: clf, Network: st.Network, Metrics: reg},
+		Store:    store,
+		Workers:  2,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First submission: queued, then analyzed.
+	resp, body := postScan(t, ts, apkBytes)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first scan: %d %s", resp.StatusCode, body)
+	}
+	var sub scanResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, err := apk.SigningDigest(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Digest != wantDigest || sub.Status != "queued" {
+		t.Fatalf("submission = %+v", sub)
+	}
+	served := pollResult(t, ts, sub.Digest)
+
+	// The served verdict is byte-identical to a fresh direct run with the
+	// same configuration.
+	directReviewer := &bouncer.Reviewer{Classifier: clf, Network: st.Network}
+	v, err := directReviewer.Review(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := newAnalyzer(nil).AnalyzeAPK(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewRecord(wantDigest, res, &v).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want) {
+		t.Fatalf("served verdict differs from direct run:\nserved: %s\ndirect: %s", served, want)
+	}
+	var rec Record
+	if err := json.Unmarshal(served, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Malware) == 0 {
+		t.Fatalf("malware sample produced no detections: %s", served)
+	}
+	if rec.Review == nil {
+		t.Fatal("record carries no review verdict")
+	}
+	if got := reg.Counter("service.analyzed"); got != 1 {
+		t.Fatalf("service.analyzed = %d", got)
+	}
+
+	// Second submission: cached verdict, byte-identical, no re-analysis.
+	resp, body = postScan(t, ts, apkBytes)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second scan: %d %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("cached verdict differs:\ncached: %s\nwant: %s", body, want)
+	}
+	if got := reg.Counter("service.analyzed"); got != 1 {
+		t.Fatalf("re-analysis happened: service.analyzed = %d", got)
+	}
+	if got := reg.Counter("service.scan.cached"); got != 1 {
+		t.Fatalf("service.scan.cached = %d", got)
+	}
+
+	// healthz and metricz respond.
+	resp2, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp2.StatusCode)
+	}
+	resp3, err := http.Get(ts.URL + "/v1/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if !bytes.Contains(mbody, []byte("service.analyzed")) || !bytes.Contains(mbody, []byte("resultstore")) {
+		t.Fatalf("metricz missing sections:\n%s", mbody)
+	}
+
+	// Drain cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueFullRejectsWith429 fills the bounded queue behind a blocked
+// worker and checks backpressure.
+func TestQueueFullRejectsWith429(t *testing.T) {
+	started := make(chan string, 8)
+	unblock := make(chan struct{})
+	reg := metrics.New()
+	_, ts := newStubServer(t, Config{Workers: 1, QueueDepth: 1, Metrics: reg},
+		func(digest string, data []byte) (*Record, error) {
+			started <- digest
+			<-unblock
+			return &Record{Digest: digest, Status: "exercised"}, nil
+		})
+	defer close(unblock)
+
+	// First job: picked up by the lone worker (blocked in analyze).
+	resp, body := postScan(t, ts, tinyAPK(t, "com.q.one"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("scan 1: %d %s", resp.StatusCode, body)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never started")
+	}
+
+	// Second job: sits in the queue (depth 1).
+	resp, body = postScan(t, ts, tinyAPK(t, "com.q.two"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("scan 2: %d %s", resp.StatusCode, body)
+	}
+
+	// Third job: queue full → 429 with Retry-After.
+	resp, body = postScan(t, ts, tinyAPK(t, "com.q.three"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("scan 3: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := reg.Counter("service.scan.rejected"); got != 1 {
+		t.Fatalf("service.scan.rejected = %d", got)
+	}
+}
+
+// TestSingleflightDedup submits the same digest twice while the first
+// copy is still in flight: no second job is enqueued.
+func TestSingleflightDedup(t *testing.T) {
+	started := make(chan string, 8)
+	unblock := make(chan struct{})
+	reg := metrics.New()
+	_, ts := newStubServer(t, Config{Workers: 1, QueueDepth: 4, Metrics: reg},
+		func(digest string, data []byte) (*Record, error) {
+			started <- digest
+			<-unblock
+			return &Record{Digest: digest, Status: "exercised"}, nil
+		})
+
+	apkBytes := tinyAPK(t, "com.dedup")
+	resp, _ := postScan(t, ts, apkBytes)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("scan 1: %d", resp.StatusCode)
+	}
+	<-started
+	resp, body := postScan(t, ts, apkBytes)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("scan 2: %d %s", resp.StatusCode, body)
+	}
+	var sub scanResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Status != "pending" {
+		t.Fatalf("twin submission status = %q", sub.Status)
+	}
+	if got := reg.Counter("service.scan.deduped"); got != 1 {
+		t.Fatalf("service.scan.deduped = %d", got)
+	}
+	if got := reg.Counter("service.scan.queued"); got != 1 {
+		t.Fatalf("service.scan.queued = %d", got)
+	}
+	close(unblock)
+	dg, err := apk.SigningDigest(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollResult(t, ts, dg)
+}
+
+// TestShutdownDrainsQueuedJobs checks graceful shutdown: queued work
+// completes, new submissions are refused.
+func TestShutdownDrainsQueuedJobs(t *testing.T) {
+	reg := metrics.New()
+	s, ts := newStubServer(t, Config{Workers: 1, QueueDepth: 8, Metrics: reg},
+		func(digest string, data []byte) (*Record, error) {
+			time.Sleep(20 * time.Millisecond)
+			return &Record{Digest: digest, Status: "exercised"}, nil
+		})
+
+	var digests []string
+	for i := 0; i < 4; i++ {
+		data := tinyAPK(t, fmt.Sprintf("com.drain.a%d", i))
+		dg, err := apk.SigningDigest(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, dg)
+		if resp, body := postScan(t, ts, data); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("scan %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Every queued job finished before Shutdown returned.
+	for _, dg := range digests {
+		if resp, body := getResult(t, ts, dg); resp.StatusCode != http.StatusOK {
+			t.Fatalf("result %s after drain: %d %s", dg, resp.StatusCode, body)
+		}
+	}
+	if got := reg.Counter("service.analyzed"); got != 4 {
+		t.Fatalf("service.analyzed = %d", got)
+	}
+	// The drained daemon refuses new work.
+	if resp, _ := postScan(t, ts, tinyAPK(t, "com.drain.late")); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown scan: %d", resp.StatusCode)
+	}
+	// Shutdown is idempotent.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailedAnalysisReportsAndRetries pins a pipeline failure to the
+// digest (502 on poll) and lets a resubmission retry it.
+func TestFailedAnalysisReportsAndRetries(t *testing.T) {
+	fail := true
+	reg := metrics.New()
+	_, ts := newStubServer(t, Config{Workers: 1, QueueDepth: 4, Metrics: reg},
+		func(digest string, data []byte) (*Record, error) {
+			if fail {
+				return nil, fmt.Errorf("injected pipeline failure")
+			}
+			return &Record{Digest: digest, Status: "exercised"}, nil
+		})
+
+	data := tinyAPK(t, "com.flaky")
+	dg, err := apk.SigningDigest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postScan(t, ts, data); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("scan: %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body := getResult(t, ts, dg)
+		if resp.StatusCode == http.StatusBadGateway {
+			var sr scanResponse
+			if err := json.Unmarshal(body, &sr); err != nil {
+				t.Fatal(err)
+			}
+			if sr.Status != "failed" || sr.Error == "" {
+				t.Fatalf("failure body = %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failure never surfaced: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter("service.analyze.errors"); got != 1 {
+		t.Fatalf("service.analyze.errors = %d", got)
+	}
+
+	// Resubmission clears the failure pin and retries.
+	fail = false
+	if resp, _ := postScan(t, ts, data); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("rescan: %d", resp.StatusCode)
+	}
+	pollResult(t, ts, dg)
+}
+
+func TestScanRejectsGarbageAndUnknownResult(t *testing.T) {
+	_, ts := newStubServer(t, Config{Workers: 1, QueueDepth: 1}, nil)
+	if resp, _ := postScan(t, ts, []byte("not an apk")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage scan: %d", resp.StatusCode)
+	}
+	if resp, _ := getResult(t, ts, "deadbeef"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown result: %d", resp.StatusCode)
+	}
+}
+
+func TestOversizedSubmissionRejected(t *testing.T) {
+	_, ts := newStubServer(t, Config{Workers: 1, QueueDepth: 1, MaxBodyBytes: 128}, nil)
+	resp, _ := postScan(t, ts, bytes.Repeat([]byte{0x50}, 4096))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized scan: %d", resp.StatusCode)
+	}
+}
+
+func TestNewRequiresAnalyzer(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty config")
+	}
+}
