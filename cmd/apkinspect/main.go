@@ -9,6 +9,13 @@
 //	apkinspect -lib libshell.so app.apk
 //	apkinspect -fixed app.apk          # use the decompiler version that
 //	                                   # survives anti-decompilation
+//
+// The trace subcommand renders analysis span trees as indented timing
+// trees — from a daemon trace store (dydroidd -traces DIR) or from a
+// JSONL file written by experiments -trace:
+//
+//	apkinspect trace -store DIR <digest>
+//	apkinspect trace traces.jsonl
 package main
 
 import (
@@ -21,21 +28,76 @@ import (
 	"github.com/dydroid/dydroid/internal/apktool"
 	"github.com/dydroid/dydroid/internal/nativebin"
 	"github.com/dydroid/dydroid/internal/obfuscation"
+	"github.com/dydroid/dydroid/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Stdout, os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "apkinspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	smali := flag.String("smali", "", "print the smali IR of this class")
 	lib := flag.String("lib", "", "print the disassembly of this native library")
 	fixed := flag.Bool("fixed", false, "use the fixed decompiler version")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: apkinspect [flags] app.apk")
+		fmt.Fprintln(os.Stderr, "usage: apkinspect [flags] app.apk | apkinspect trace [-store DIR] <digest|file.jsonl>")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), *smali, *lib, *fixed); err != nil {
 		fmt.Fprintln(os.Stderr, "apkinspect:", err)
 		os.Exit(1)
 	}
+}
+
+// runTrace renders stored span trees. With -store the argument is a
+// signing digest resolved against a dydroidd trace store; otherwise it is
+// a JSONL file of traces (experiments -trace output), all rendered in
+// order.
+func runTrace(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "trace store directory (argument is a digest)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: apkinspect trace [-store DIR] <digest|file.jsonl>")
+	}
+	arg := fs.Arg(0)
+	if *storeDir != "" {
+		st, err := trace.OpenStore(trace.StoreOptions{Dir: *storeDir})
+		if err != nil {
+			return err
+		}
+		t, err := st.Get(arg)
+		if err != nil {
+			return err
+		}
+		trace.Render(w, t)
+		return nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	traces, err := trace.DecodeJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("%s holds no traces", arg)
+	}
+	for i, t := range traces {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		trace.Render(w, t)
+	}
+	return nil
 }
 
 func run(w io.Writer, path, smali, lib string, fixed bool) error {

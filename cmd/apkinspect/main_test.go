@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +12,7 @@ import (
 	"github.com/dydroid/dydroid/internal/dex"
 	"github.com/dydroid/dydroid/internal/nativebin"
 	"github.com/dydroid/dydroid/internal/obfuscation"
+	"github.com/dydroid/dydroid/internal/trace"
 )
 
 func writeTestAPK(t *testing.T) string {
@@ -124,5 +127,68 @@ func TestInspectAntiDecompileNeedsFixedVersion(t *testing.T) {
 	}
 	if err := run(&out, path, "", "", true); err != nil {
 		t.Fatalf("-fixed tool failed: %v", err)
+	}
+}
+
+// buildTestTrace makes a small two-level span tree with a known digest.
+func buildTestTrace(t *testing.T, digest string) *trace.Trace {
+	t.Helper()
+	tr := trace.New("analyze", trace.WithDigest(digest))
+	ctx := trace.ContextWith(context.Background(), tr)
+	_, s := trace.Start(ctx, "unpack")
+	s.SetAttr("dex-dcl", "true")
+	s.End()
+	tr.Root.End()
+	return tr
+}
+
+func TestTraceSubcommandFromStore(t *testing.T) {
+	const digest = "aabbccddeeff00112233445566778899"
+	dir := t.TempDir()
+	st, err := trace.OpenStore(trace.StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(buildTestTrace(t, digest)); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runTrace(&out, []string{"-store", dir, digest}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digest " + digest, "analyze", "unpack", "dex-dcl=true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("rendered trace missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := runTrace(io.Discard, []string{"-store", dir, "0000000000000000"}); err == nil {
+		t.Fatal("unknown digest rendered without error")
+	}
+}
+
+func TestTraceSubcommandFromJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeJSONL(f, buildTestTrace(t, "11"), buildTestTrace(t, "22")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runTrace(&out, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digest 11") || !strings.Contains(out.String(), "digest 22") {
+		t.Fatalf("JSONL render missing traces:\n%s", out.String())
+	}
+	if err := runTrace(io.Discard, []string{"-store", "", "nope.jsonl"}); err == nil {
+		t.Fatal("missing file rendered without error")
+	}
+	if err := runTrace(io.Discard, nil); err == nil {
+		t.Fatal("no-arg trace subcommand accepted")
 	}
 }

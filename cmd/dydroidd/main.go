@@ -8,9 +8,11 @@
 //
 //	dydroidd [-addr :8437] [-workers N] [-queue 64] [-store DIR]
 //	         [-cache 512] [-seed 7] [-events 25] [-no-train] [-no-review]
+//	         [-traces DIR] [-logjson]
 //
-// Endpoints: POST /v1/scan, GET /v1/result/{digest}, GET /v1/healthz,
-// GET /v1/metricz. Submit with curl:
+// Endpoints: POST /v1/scan, GET /v1/result/{digest}, GET /v1/trace/{digest},
+// GET /v1/healthz, GET /v1/metricz (?format=prom for Prometheus text
+// exposition), and runtime profiling under /debug/pprof/. Submit with curl:
 //
 //	curl --data-binary @app.apk http://localhost:8437/v1/scan
 //	curl http://localhost:8437/v1/result/<digest>
@@ -18,7 +20,11 @@
 // Served verdicts are byte-identical to a fresh `dydroid -json` run on
 // the same APK with the same seed (with -no-review; otherwise the record
 // additionally carries the Bouncer "review" block, which the CLI does
-// not run). SIGINT/SIGTERM drain in-flight jobs before exit.
+// not run). Every scan's analysis span tree is retained (in memory by
+// default, on disk with -traces) and served at /v1/trace/{digest};
+// responses that resolve a digest carry an X-Dydroid-Trace header. With
+// -logjson the daemon emits one structured JSON log line per request.
+// SIGINT/SIGTERM drain in-flight jobs before exit.
 package main
 
 import (
@@ -26,6 +32,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -41,6 +49,7 @@ import (
 	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/resultstore"
 	"github.com/dydroid/dydroid/internal/service"
+	"github.com/dydroid/dydroid/internal/trace"
 )
 
 func main() {
@@ -53,12 +62,15 @@ func main() {
 	events := flag.Int("events", 25, "monkey event budget per app")
 	noTrain := flag.Bool("no-train", false, "skip DroidNative training (disables malware detection)")
 	noReview := flag.Bool("no-review", false, "skip the Bouncer review phase")
+	traceDir := flag.String("traces", "", "trace store directory (empty = in-memory traces only)")
+	logJSON := flag.Bool("logjson", false, "structured JSON request logging on stderr")
 	flag.Parse()
 
 	opts := daemonOptions{
 		Addr: *addr, Workers: *workers, Queue: *queue, StoreDir: *storeDir,
 		CacheSize: *cacheSize, Seed: *seed, Events: *events,
 		NoTrain: *noTrain, NoReview: *noReview,
+		TraceDir: *traceDir, LogJSON: *logJSON,
 	}
 	if err := run(context.Background(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dydroidd:", err)
@@ -77,6 +89,11 @@ type daemonOptions struct {
 	Events    int
 	NoTrain   bool
 	NoReview  bool
+	TraceDir  string
+	LogJSON   bool
+	// LogWriter overrides the -logjson destination (default os.Stderr);
+	// tests capture the access log here.
+	LogWriter io.Writer
 	// Ready, when non-nil, receives the bound listen address once the
 	// daemon is serving.
 	Ready func(addr string)
@@ -110,6 +127,18 @@ func run(parent context.Context, o daemonOptions) error {
 	if !o.NoReview {
 		reviewer = &bouncer.Reviewer{Classifier: clf, Network: store.Network, Metrics: reg}
 	}
+	traces, err := trace.OpenStore(trace.StoreOptions{Dir: o.TraceDir})
+	if err != nil {
+		return err
+	}
+	var logger *slog.Logger
+	if o.LogJSON {
+		w := o.LogWriter
+		if w == nil {
+			w = os.Stderr
+		}
+		logger = slog.New(slog.NewJSONHandler(w, nil))
+	}
 	svc, err := service.New(service.Config{
 		Analyzer: core.NewAnalyzer(core.Options{
 			Seed: o.Seed, MonkeyEvents: o.Events, Classifier: clf,
@@ -120,6 +149,8 @@ func run(parent context.Context, o daemonOptions) error {
 		Workers:    o.Workers,
 		QueueDepth: o.Queue,
 		Metrics:    reg,
+		Traces:     traces,
+		Logger:     logger,
 	})
 	if err != nil {
 		return err

@@ -3,15 +3,38 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/dydroid/dydroid/internal/apk"
 	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/trace"
 )
+
+// syncBuffer collects the daemon's access log across goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // TestDaemonLifecycle boots the daemon on an ephemeral port, submits an
 // APK, polls the verdict, and cancels the context (the SIGTERM path) —
@@ -21,15 +44,20 @@ func TestDaemonLifecycle(t *testing.T) {
 	done := make(chan error, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	var accessLog syncBuffer
+	traceDir := filepath.Join(t.TempDir(), "traces")
 	go func() {
 		done <- run(ctx, daemonOptions{
-			Addr:     "127.0.0.1:0",
-			Workers:  2,
-			Queue:    8,
-			StoreDir: filepath.Join(t.TempDir(), "store"),
-			Seed:     7,
-			Events:   25,
-			Ready:    func(addr string) { ready <- addr },
+			Addr:      "127.0.0.1:0",
+			Workers:   2,
+			Queue:     8,
+			StoreDir:  filepath.Join(t.TempDir(), "store"),
+			Seed:      7,
+			Events:    25,
+			TraceDir:  traceDir,
+			LogJSON:   true,
+			LogWriter: &accessLog,
+			Ready:     func(addr string) { ready <- addr },
 		})
 	}()
 	var addr string
@@ -98,6 +126,46 @@ func TestDaemonLifecycle(t *testing.T) {
 			t.Fatalf("verdict never arrived: %d %s", resp.StatusCode, body)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The analysis span tree is served and persisted under -traces.
+	resp, err = http.Get(base + "/v1/trace/" + digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %d %s", resp.StatusCode, traceBody)
+	}
+	var tr trace.Trace
+	if err := json.Unmarshal(traceBody, &tr); err != nil {
+		t.Fatalf("trace body: %v\n%s", err, traceBody)
+	}
+	if tr.Digest != digest || tr.Root == nil || tr.Root.Find("analyze") == nil {
+		t.Fatalf("trace incomplete: %s", traceBody)
+	}
+	if _, err := os.Stat(filepath.Join(traceDir, digest+".json")); err != nil {
+		t.Fatalf("trace not persisted: %v", err)
+	}
+
+	// -logjson produced structured access-log lines for the scan.
+	logged := accessLog.String()
+	if !strings.Contains(logged, `"msg":"request"`) ||
+		!strings.Contains(logged, `"path":"/v1/scan"`) ||
+		!strings.Contains(logged, `"digest":"`+digest+`"`) {
+		t.Fatalf("access log missing request lines:\n%s", logged)
+	}
+
+	// Prometheus exposition is live.
+	resp, err = http.Get(base + "/v1/metricz?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(promBody, []byte("dydroid_service_analyzed_total")) {
+		t.Fatalf("prom exposition missing counters:\n%.500s", promBody)
 	}
 
 	// Context cancellation drains the daemon.

@@ -5,12 +5,14 @@
 // Usage:
 //
 //	experiments [-scale 1.0] [-seed 2016] [-workers N] [-table N | -figure 3]
-//	            [-o report.txt] [-metrics] [-failfast] [-warm DIR]
+//	            [-o report.txt] [-metrics] [-failfast] [-warm DIR] [-trace DIR]
 //
 // With no -table/-figure flag the complete report (Tables I-X and
 // Figure 3) is printed. With -warm the run keeps a content-addressed
 // result store in DIR: re-runs with the same seed and event budget skip
-// already-analyzed apps.
+// already-analyzed apps. With -trace the run writes its observability
+// artifacts to DIR: traces.jsonl (the slowest apps' span trees, renderable
+// with `apkinspect trace`) and runstats.json (per-stage exact quantiles).
 package main
 
 import (
@@ -34,9 +36,10 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "print the run's metrics snapshot (per-stage timings, throughput, failure counts) to stderr")
 	failFast := flag.Bool("failfast", false, "abort on the first per-app failure instead of recording it and continuing")
 	warmDir := flag.String("warm", "", "warm-start result store directory (re-runs skip already-analyzed apps)")
+	traceDir := flag.String("trace", "", "write traces.jsonl and runstats.json to this directory")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers, TraceDir: *traceDir}
 	if *failFast {
 		cfg.OnFailure = experiments.FailFast
 	}

@@ -8,7 +8,9 @@
 package bouncer
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"github.com/dydroid/dydroid/internal/android"
@@ -20,6 +22,7 @@ import (
 	"github.com/dydroid/dydroid/internal/monkey"
 	"github.com/dydroid/dydroid/internal/nativebin"
 	"github.com/dydroid/dydroid/internal/netsim"
+	"github.com/dydroid/dydroid/internal/trace"
 	"github.com/dydroid/dydroid/internal/vm"
 )
 
@@ -54,33 +57,54 @@ var maliciousEventKinds = map[string]bool{
 
 // Review checks one submitted archive.
 func (r *Reviewer) Review(apkBytes []byte) (Verdict, error) {
+	return r.ReviewContext(context.Background(), apkBytes)
+}
+
+// ReviewContext is Review joining the trace carried by ctx: the vetting
+// daemon threads one trace through the review and the pipeline run, so a
+// submission's whole history lands in a single span tree.
+func (r *Reviewer) ReviewContext(ctx context.Context, apkBytes []byte) (Verdict, error) {
+	ctx, span := trace.Start(ctx, "review")
 	defer r.Metrics.Time("bouncer.review")()
-	v, err := r.review(apkBytes)
+	v, err := r.review(ctx, apkBytes)
 	switch {
 	case err != nil:
 		r.Metrics.Add("bouncer.errors", 1)
+		span.EndErr(err)
 	case v.Approved:
 		r.Metrics.Add("bouncer.approved", 1)
 	default:
 		r.Metrics.Add("bouncer.rejected", 1)
 	}
+	if err == nil {
+		span.SetAttr("approved", strconv.FormatBool(v.Approved))
+		if v.Reason != "" {
+			span.SetAttr("reason", v.Reason)
+		}
+		span.End()
+	}
 	return v, err
 }
 
-func (r *Reviewer) review(apkBytes []byte) (Verdict, error) {
+func (r *Reviewer) review(ctx context.Context, apkBytes []byte) (Verdict, error) {
 	a, err := apk.Parse(apkBytes)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("bouncer: %w", err)
 	}
 	// Phase 1: static scan of every binary in the archive.
+	_, sStatic := trace.Start(ctx, "review.static")
 	stopStatic := r.Metrics.Time("bouncer.static")
 	v, rejected := r.staticScan(a)
 	stopStatic()
+	sStatic.SetAttr("rejected", strconv.FormatBool(rejected))
+	sStatic.End()
 	if rejected {
 		return v, nil
 	}
 
 	// Phase 2: brief dynamic run in a sandbox device.
+	_, sDynamic := trace.Start(ctx, "review.dynamic")
+	defer sDynamic.End()
 	defer r.Metrics.Time("bouncer.dynamic")()
 	dev := android.NewDevice()
 	var net *netsim.Network

@@ -1,0 +1,75 @@
+package bouncer
+
+import (
+	"context"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/trace"
+)
+
+// TestReviewContextJoinsTrace: ReviewContext hangs its review span (with
+// static and dynamic phases) under the caller's active span, so a daemon
+// scan trace covers vetting and analysis in one tree.
+func TestReviewContextJoinsTrace(t *testing.T) {
+	b := dex.NewBuilder()
+	b.Class("com.ok.Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+	dexBytes, _ := dex.Encode(b.File())
+	data, err := apk.Build(&apk.APK{
+		Manifest: apk.Manifest{Package: "com.ok", MinSDK: 16,
+			Application: apk.Application{Activities: []apk.Component{{Name: "com.ok.Main", Main: true}}}},
+		Dex: dexBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parent := trace.New("scan", trace.WithDigest("deadbeef"))
+	ctx := trace.ContextWith(context.Background(), parent)
+	v, err := (&Reviewer{Classifier: trainedClassifier(t)}).ReviewContext(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Approved {
+		t.Fatalf("benign app rejected: %s", v.Reason)
+	}
+
+	rev := parent.Root.Find("review")
+	if rev == nil {
+		t.Fatal("review span not joined under caller root")
+	}
+	if rev.EndAt.IsZero() {
+		t.Fatal("review span never ended")
+	}
+	if got := rev.Attr("approved"); got != "true" {
+		t.Fatalf("review approved attr = %q", got)
+	}
+	for _, name := range []string{"review.static", "review.dynamic"} {
+		s := rev.Find(name)
+		if s == nil {
+			t.Fatalf("phase span %q missing under review", name)
+		}
+		if s.EndAt.IsZero() {
+			t.Fatalf("phase span %q never ended", name)
+		}
+	}
+}
+
+// TestReviewStandaloneHasNoTraceRequirement: plain Review still works
+// without any trace in scope (fresh trace is created and discarded).
+func TestReviewStandaloneTraceError(t *testing.T) {
+	parent := trace.New("scan")
+	ctx := trace.ContextWith(context.Background(), parent)
+	if _, err := (&Reviewer{}).ReviewContext(ctx, []byte("garbage")); err == nil {
+		t.Fatal("garbage approved")
+	}
+	rev := parent.Root.Find("review")
+	if rev == nil {
+		t.Fatal("no review span for failed review")
+	}
+	if rev.Err == "" || rev.EndAt.IsZero() {
+		t.Fatalf("failed review span not closed with error: %+v", rev)
+	}
+}

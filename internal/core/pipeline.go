@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/dydroid/dydroid/internal/android"
@@ -18,6 +20,7 @@ import (
 	"github.com/dydroid/dydroid/internal/netsim"
 	"github.com/dydroid/dydroid/internal/obfuscation"
 	"github.com/dydroid/dydroid/internal/taint"
+	"github.com/dydroid/dydroid/internal/trace"
 	"github.com/dydroid/dydroid/internal/vm"
 )
 
@@ -78,29 +81,47 @@ func NewAnalyzer(opts Options) *Analyzer {
 // Options.Metrics is set, every stage duration and the final status are
 // recorded into the registry.
 func (a *Analyzer) AnalyzeAPK(apkBytes []byte) (*AppResult, error) {
+	return a.AnalyzeAPKContext(context.Background(), apkBytes)
+}
+
+// AnalyzeAPKContext is AnalyzeAPK joining the trace carried by ctx: it
+// opens an "analyze" span (the root of a fresh trace when ctx carries
+// none) with one child span per executed pipeline stage, and stores the
+// resulting span tree in AppResult.Trace.
+func (a *Analyzer) AnalyzeAPKContext(ctx context.Context, apkBytes []byte) (*AppResult, error) {
+	ctx, span := trace.Start(ctx, "analyze")
 	stop := a.opts.Metrics.Time("app.total")
-	res, err := a.analyzeAPK(apkBytes)
+	res, err := a.analyzeAPK(ctx, apkBytes)
 	stop()
 	if err != nil {
+		span.EndErr(err)
 		a.opts.Metrics.Add("status."+string(StatusAnalysisError), 1)
 		return nil, err
 	}
+	span.SetAttr("package", res.Package)
+	span.SetAttr("status", string(res.Status))
+	span.End()
+	res.Trace = trace.FromContext(ctx)
 	a.opts.Metrics.Add("status."+string(res.Status), 1)
 	return res, nil
 }
 
-func (a *Analyzer) analyzeAPK(apkBytes []byte) (*AppResult, error) {
+func (a *Analyzer) analyzeAPK(ctx context.Context, apkBytes []byte) (*AppResult, error) {
 	res := &AppResult{}
 
+	_, sUnpack := trace.Start(ctx, "unpack")
 	tUnpack := time.Now()
 	u, err := a.opts.Tool.Unpack(apkBytes)
 	if err != nil {
 		a.opts.Metrics.Observe("stage.unpack", time.Since(tUnpack))
 		if errors.Is(err, apktool.ErrDecompile) {
+			sUnpack.SetAttr("anti-decompile", "true")
+			sUnpack.End()
 			res.Status = StatusUnpackFailure
 			res.Obfuscation.AntiDecompile = true
 			return res, nil
 		}
+		sUnpack.EndErr(err)
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	res.Package = u.APK.Manifest.Package
@@ -108,6 +129,9 @@ func (a *Analyzer) analyzeAPK(apkBytes []byte) (*AppResult, error) {
 	det := obfuscation.Detector{Tool: a.opts.Tool}
 	res.Obfuscation = det.AnalyzeUnpacked(u)
 	a.opts.Metrics.Observe("stage.unpack", time.Since(tUnpack))
+	sUnpack.SetAttr("dex-dcl", strconv.FormatBool(res.PreFilter.HasDexDCL))
+	sUnpack.SetAttr("native-dcl", strconv.FormatBool(res.PreFilter.HasNativeDCL))
+	sUnpack.End()
 
 	if !res.PreFilter.HasDexDCL && !res.PreFilter.HasNativeDCL && !a.opts.RunDynamicWithoutDCL {
 		res.Status = StatusNoDCL
@@ -117,33 +141,52 @@ func (a *Analyzer) analyzeAPK(apkBytes []byte) (*AppResult, error) {
 	// Rewrite with the logging permission when missing.
 	runBytes := apkBytes
 	if !u.APK.Manifest.HasPermission(apk.WriteExternalStorage) {
+		_, sRewrite := trace.Start(ctx, "rewrite")
 		tRewrite := time.Now()
 		rewritten, err := a.opts.Tool.Repack(apkBytes)
 		a.opts.Metrics.Observe("stage.rewrite", time.Since(tRewrite))
 		if err != nil {
 			if errors.Is(err, apktool.ErrRepack) {
+				sRewrite.SetAttr("anti-repackaging", "true")
+				sRewrite.End()
 				res.Status = StatusRewriteFailure
 				return res, nil
 			}
+			sRewrite.EndErr(err)
 			return nil, fmt.Errorf("core: %w", err)
 		}
+		sRewrite.End()
 		runBytes = rewritten
 	}
 
 	// Dynamic phase, with one retry after cleaning external storage when
 	// the device runs out of space (automatic exception handling).
+	dctx, sDynamic := trace.Start(ctx, "dynamic")
 	tDynamic := time.Now()
-	run, err := a.runDynamic(runBytes, nil)
+	run, err := a.runDynamic(dctx, runBytes, nil)
 	if err != nil && isNoSpace(err) {
 		a.opts.Metrics.Add("dynamic.nospace-retries", 1)
-		run, err = a.runDynamic(runBytes, func(dev *android.Device) {
+		sDynamic.SetAttr("nospace-retry", "true")
+		run, err = a.runDynamic(dctx, runBytes, func(dev *android.Device) {
 			dev.Storage.RemovePrefix(LogRoot)
 		})
 	}
 	a.opts.Metrics.Observe("stage.dynamic", time.Since(tDynamic))
 	if err != nil {
+		sDynamic.EndErr(err)
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	sDynamic.SetAttr("outcome", string(run.outcome))
+	sDynamic.SetAttr("events", strconv.Itoa(len(run.events)))
+	for _, ev := range run.events {
+		sDynamic.AddEvent("dcl",
+			trace.A("kind", string(ev.Kind)),
+			trace.A("api", ev.API),
+			trace.A("path", ev.Path),
+			trace.A("entity", string(ev.Entity)),
+			trace.A("provenance", string(ev.Provenance)))
+	}
+	sDynamic.End()
 	res.Events = run.events
 	res.RuntimeEvents = run.vmEvents
 	switch run.outcome {
@@ -158,11 +201,15 @@ func (a *Analyzer) analyzeAPK(apkBytes []byte) (*AppResult, error) {
 		res.Status = StatusExercised
 	}
 
+	_, sStatic := trace.Start(ctx, "static")
 	tStatic := time.Now()
 	a.staticOnIntercepted(res)
 	minSDK := u.APK.Manifest.MinSDK
 	res.Vulns = AnalyzeVulnerabilities(res.Package, minSDK, res.Events)
 	a.opts.Metrics.Observe("stage.static", time.Since(tStatic))
+	sStatic.SetAttr("malware", strconv.Itoa(len(res.Malware)))
+	sStatic.SetAttr("vulns", strconv.Itoa(len(res.Vulns)))
+	sStatic.End()
 	return res, nil
 }
 
@@ -184,8 +231,9 @@ type dynRun struct {
 
 // runDynamic provisions a fresh device, installs the app with full
 // instrumentation and exercises it. preLaunch mutates the device after
-// provisioning (used by the retry path and the Table VIII replays).
-func (a *Analyzer) runDynamic(apkBytes []byte, preLaunch func(*android.Device)) (*dynRun, error) {
+// provisioning (used by the retry path and the Table VIII replays). The
+// dump phase gets its own "interception" child span under ctx's span.
+func (a *Analyzer) runDynamic(ctx context.Context, apkBytes []byte, preLaunch func(*android.Device)) (*dynRun, error) {
 	devOpts := []android.Option{}
 	if a.opts.StorageQuota > 0 {
 		devOpts = append(devOpts, android.WithStorageQuota(a.opts.StorageQuota))
@@ -224,19 +272,29 @@ func (a *Analyzer) runDynamic(apkBytes []byte, preLaunch func(*android.Device)) 
 	}
 	mres := monkey.Exercise(machine, a.opts.MonkeyEvents, a.opts.Seed)
 
+	_, sIntercept := trace.Start(ctx, "interception")
 	logger.FinalizeInterception()
 	events := logger.Events()
 	tracker.Annotate(events)
 	// Measurement events exclude system libraries.
 	var kept []*DCLEvent
+	intercepted := 0
 	for _, ev := range events {
 		if !ev.SystemLib {
 			kept = append(kept, ev)
+			if ev.Intercepted != nil {
+				intercepted++
+			}
 		}
 	}
-	if _, err := logger.DumpIntercepted(); err != nil && !isNoSpace(err) {
+	dumped, err := logger.DumpIntercepted()
+	sIntercept.SetAttr("intercepted", strconv.Itoa(intercepted))
+	sIntercept.SetAttr("dumped", strconv.Itoa(len(dumped)))
+	if err != nil && !isNoSpace(err) {
+		sIntercept.EndErr(err)
 		return nil, err
 	}
+	sIntercept.End()
 	return &dynRun{
 		outcome:  mres.Outcome,
 		crash:    mres.Err,
@@ -327,11 +385,20 @@ func isDex(data []byte) bool {
 // events fired (used to test whether malicious loads are gated on the
 // environment).
 func (a *Analyzer) ReplayUnderConfig(apkBytes []byte, cfg ReplayConfig, releaseDate time.Time) (map[string]bool, error) {
+	return a.ReplayUnderConfigContext(context.Background(), apkBytes, cfg, releaseDate)
+}
+
+// ReplayUnderConfigContext is ReplayUnderConfig joining the trace carried
+// by ctx with a "replay" span annotated with the configuration, so an
+// app's replays land in the same span tree as its analysis.
+func (a *Analyzer) ReplayUnderConfigContext(ctx context.Context, apkBytes []byte, cfg ReplayConfig, releaseDate time.Time) (map[string]bool, error) {
 	if releaseDate.IsZero() {
 		releaseDate = DefaultReleaseDate
 	}
+	ctx, span := trace.Start(ctx, "replay")
+	span.SetAttr("config", string(cfg))
 	defer a.opts.Metrics.Time("stage.replay")()
-	run, err := a.runDynamic(apkBytes, func(dev *android.Device) {
+	run, err := a.runDynamic(ctx, apkBytes, func(dev *android.Device) {
 		switch cfg {
 		case ConfigTimeBeforeRelease:
 			dev.SetClock(releaseDate.AddDate(0, -1, 0))
@@ -345,12 +412,15 @@ func (a *Analyzer) ReplayUnderConfig(apkBytes []byte, cfg ReplayConfig, releaseD
 		}
 	})
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
 	loaded := make(map[string]bool)
 	for _, ev := range run.events {
 		loaded[ev.Path] = true
 	}
+	span.SetAttr("loaded", strconv.Itoa(len(loaded)))
+	span.End()
 	return loaded, nil
 }
 

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/trace"
+)
+
+// TestAnalyzeProducesTrace: every analysis carries a span tree whose root
+// covers all executed pipeline stages, with DCL events attached to the
+// dynamic span.
+func TestAnalyzeProducesTrace(t *testing.T) {
+	payload := payloadWithLeak(t, "com.google.ads.dynamic.AdCore")
+	apkBytes := adSDKApp(t, "com.fun.game", payload)
+	an := NewAnalyzer(Options{Seed: 1})
+	res, err := an.AnalyzeAPK(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil || tr.Root == nil {
+		t.Fatal("analysis produced no trace")
+	}
+	if tr.Root.Name != "analyze" {
+		t.Fatalf("root span = %q, want analyze", tr.Root.Name)
+	}
+	if tr.Root.Duration() <= 0 {
+		t.Fatalf("root duration = %s", tr.Root.Duration())
+	}
+	if got := tr.Root.Attr("package"); got != "com.fun.game" {
+		t.Fatalf("root package attr = %q", got)
+	}
+	if got := tr.Root.Attr("status"); got != string(StatusExercised) {
+		t.Fatalf("root status attr = %q", got)
+	}
+	for _, name := range []string{"unpack", "dynamic", "static", "interception"} {
+		s := tr.Root.Find(name)
+		if s == nil {
+			t.Fatalf("stage span %q missing", name)
+		}
+		if s.EndAt.IsZero() {
+			t.Fatalf("stage span %q never ended", name)
+		}
+		if s.Duration() > tr.Root.Duration() {
+			t.Fatalf("stage %q duration %s exceeds root %s", name, s.Duration(), tr.Root.Duration())
+		}
+	}
+	// Interception nests under the dynamic stage.
+	if tr.Root.Find("dynamic").Find("interception") == nil {
+		t.Fatal("interception span not a child of dynamic")
+	}
+	// One kept DCL event → one "dcl" event with loader attribution.
+	dyn := tr.Root.Find("dynamic")
+	var dcl *trace.Event
+	for i := range dyn.Events {
+		if dyn.Events[i].Name == "dcl" {
+			dcl = &dyn.Events[i]
+		}
+	}
+	if dcl == nil {
+		t.Fatalf("dynamic span has no dcl event: %+v", dyn.Events)
+	}
+	attrs := map[string]string{}
+	for _, a := range dcl.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	for _, key := range []string{"kind", "api", "path", "entity", "provenance"} {
+		if attrs[key] == "" {
+			t.Fatalf("dcl event missing %q attr: %+v", key, dcl.Attrs)
+		}
+	}
+	if attrs["entity"] != string(EntityThirdParty) || attrs["provenance"] != string(ProvenanceLocal) {
+		t.Fatalf("dcl event attribution wrong: %+v", attrs)
+	}
+}
+
+// TestAnalyzeJoinsCallerTrace: AnalyzeAPKContext attaches its analyze
+// span under the caller's active span instead of opening a new trace.
+func TestAnalyzeJoinsCallerTrace(t *testing.T) {
+	payload := payloadWithLeak(t, "com.google.ads.dynamic.AdCore")
+	apkBytes := adSDKApp(t, "com.fun.game", payload)
+	parent := trace.New("app", trace.WithDigest("aabbcc"))
+	ctx := trace.ContextWith(context.Background(), parent)
+	an := NewAnalyzer(Options{Seed: 1})
+	res, err := an.AnalyzeAPKContext(ctx, apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != parent {
+		t.Fatal("result trace is not the caller's trace")
+	}
+	if parent.Root.Find("analyze") == nil {
+		t.Fatal("analyze span not joined under caller root")
+	}
+	if parent.Root.Find("dynamic") == nil {
+		t.Fatal("stage spans not joined under caller root")
+	}
+	if parent.Digest != "aabbcc" {
+		t.Fatalf("digest clobbered: %q", parent.Digest)
+	}
+}
+
+// TestAnalyzeTraceOnFailure: a failed analysis still ends the root span
+// with its error recorded.
+func TestAnalyzeTraceOnFailure(t *testing.T) {
+	parent := trace.New("app")
+	ctx := trace.ContextWith(context.Background(), parent)
+	an := NewAnalyzer(Options{Seed: 1})
+	if _, err := an.AnalyzeAPKContext(ctx, []byte("not an apk")); err == nil {
+		t.Fatal("garbage APK analyzed without error")
+	}
+	s := parent.Root.Find("analyze")
+	if s == nil {
+		t.Fatal("no analyze span for failed run")
+	}
+	if s.EndAt.IsZero() || s.Err == "" {
+		t.Fatalf("failed span not closed with error: end=%v err=%q", s.EndAt, s.Err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/resultstore"
 	"github.com/dydroid/dydroid/internal/stats"
+	"github.com/dydroid/dydroid/internal/trace"
 )
 
 // FailurePolicy selects how Run reacts to a per-app pipeline failure.
@@ -78,10 +80,17 @@ type Config struct {
 	// the next run. Counters warm.hits/warm.misses/warm.stores/warm.errors
 	// land in RunStats. Open the store with Version experiments.WarmVersion.
 	Warm *resultstore.Store
+	// TraceDir, when non-empty, is created if missing and receives the
+	// run's observability artifacts: traces.jsonl (the kept slowest app
+	// span trees, one per line) and runstats.json (the RunStats block).
+	TraceDir string
+	// SlowTraces bounds how many of the slowest app traces the run keeps
+	// in RunStats.Slowest (default 5, negative disables keeping traces).
+	SlowTraces int
 
 	// analyze is the per-app analysis function, replaceable in tests to
-	// inject failures.
-	analyze func(*core.Analyzer, *corpus.Store, *corpus.StoreApp) (*AppRecord, error)
+	// inject failures. It receives a context carrying the app's trace.
+	analyze func(context.Context, *core.Analyzer, *corpus.Store, *corpus.StoreApp) (*AppRecord, error)
 }
 
 // AppRecord pairs store metadata with the pipeline's findings for one app.
@@ -120,6 +129,29 @@ type RunStats struct {
 	Stages map[string]metrics.StageStats
 	// Counters is the raw counter section of the metrics snapshot.
 	Counters map[string]int64
+	// StageQuantiles holds exact per-stage latency percentiles computed
+	// from the collected span trees, keyed by span name (app, analyze,
+	// unpack, rewrite, dynamic, interception, static, replay). Unlike
+	// Stages (bucketed histograms), these are true order statistics.
+	StageQuantiles map[string]Quantiles `json:"stage_quantiles,omitempty"`
+	// Slowest lists the slowest fresh analyses by root span duration,
+	// slowest first, each carrying its full span tree.
+	Slowest []SlowApp `json:"slowest,omitempty"`
+}
+
+// Quantiles are exact order statistics over one stage's span durations.
+type Quantiles struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50"`
+	P95   time.Duration `json:"p95"`
+	P99   time.Duration `json:"p99"`
+}
+
+// SlowApp is one kept slow-app trace.
+type SlowApp struct {
+	Package string        `json:"package"`
+	Total   time.Duration `json:"total"`
+	Trace   *trace.Trace  `json:"trace"`
 }
 
 // String renders the stats block as an aligned report section.
@@ -142,6 +174,27 @@ func (s RunStats) String() string {
 		b.WriteString("\n")
 	}
 	b.WriteString(metrics.Snapshot{Counters: s.Counters, Stages: s.Stages}.String())
+	if len(s.StageQuantiles) > 0 {
+		names := make([]string, 0, len(s.StageQuantiles))
+		for name := range s.StageQuantiles {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		t := stats.NewTable("trace quantiles (exact)", "span", "count", "p50", "p95", "p99")
+		for _, name := range names {
+			q := s.StageQuantiles[name]
+			t.Row(name, q.Count, q.P50.Round(time.Microsecond).String(),
+				q.P95.Round(time.Microsecond).String(), q.P99.Round(time.Microsecond).String())
+		}
+		b.WriteString("\n")
+		b.WriteString(t.String())
+	}
+	if len(s.Slowest) > 0 {
+		fmt.Fprintf(&b, "\nslowest apps:\n")
+		for _, sl := range s.Slowest {
+			fmt.Fprintf(&b, "  %-40s %s\n", sl.Package, sl.Total.Round(time.Microsecond))
+		}
+	}
 	return b.String()
 }
 
@@ -190,6 +243,9 @@ func Run(cfg Config) (*Results, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 2
 	}
+	if cfg.SlowTraces == 0 {
+		cfg.SlowTraces = 5
+	}
 	parent := cfg.Context
 	if parent == nil {
 		parent = context.Background()
@@ -226,6 +282,24 @@ func Run(cfg Config) (*Results, error) {
 		errs    []error
 	)
 	jobs := make(chan int)
+	collector := newTraceCollector(cfg.SlowTraces)
+
+	// runTraced wraps one analysis attempt in a fresh per-app trace whose
+	// root "app" span covers the pipeline plus any replays; successful
+	// attempts feed the collector.
+	runTraced := func(an *core.Analyzer, app *corpus.StoreApp, digest string) (*AppRecord, error) {
+		actx, root := trace.Start(ctx, "app")
+		if digest != "" {
+			trace.FromContext(actx).Digest = digest
+		}
+		rec, err := analyze(actx, an, store, app)
+		root.SetAttr("package", app.Spec.Pkg)
+		root.EndErr(err)
+		if err == nil {
+			collector.add(app.Spec.Pkg, trace.FromContext(actx))
+		}
+		return rec, err
+	}
 
 	worker := func() {
 		defer wg.Done()
@@ -244,13 +318,13 @@ func Run(cfg Config) (*Results, error) {
 			}
 			if rec == nil {
 				var err error
-				rec, err = analyze(an, store, app)
+				rec, err = runTraced(an, app, digest)
 				for attempt := 2; err != nil && attempt <= cfg.MaxAttempts && ctx.Err() == nil; attempt++ {
 					reg.Add("apps.retried", 1)
 					mu.Lock()
 					retried++
 					mu.Unlock()
-					rec, err = analyze(an, store, app)
+					rec, err = runTraced(an, app, digest)
 				}
 				if err != nil {
 					reg.Add("apps.failed", 1)
@@ -312,6 +386,12 @@ dispatch:
 		Elapsed: elapsed,
 	}
 	res.RunStats = buildStats(reg, records, elapsed, failed, retried)
+	res.RunStats.StageQuantiles, res.RunStats.Slowest = collector.stats()
+	if cfg.TraceDir != "" {
+		if err := writeTraceDir(cfg.TraceDir, res.RunStats); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 
@@ -365,13 +445,14 @@ func newAnalyzer(cfg Config, store *corpus.Store, clf *droidnative.Classifier, r
 }
 
 // analyzeOne runs the pipeline for one app and, when malware is found,
-// the four replay configurations.
-func analyzeOne(an *core.Analyzer, store *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+// the four replay configurations; everything joins the trace carried by
+// ctx, so the app's span tree covers analysis and replays alike.
+func analyzeOne(ctx context.Context, an *core.Analyzer, store *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
 	data, err := store.BuildAPK(app)
 	if err != nil {
 		return nil, err
 	}
-	res, err := an.AnalyzeAPK(data)
+	res, err := an.AnalyzeAPKContext(ctx, data)
 	if err != nil {
 		return nil, err
 	}
@@ -383,7 +464,7 @@ func analyzeOne(an *core.Analyzer, store *corpus.Store, app *corpus.StoreApp) (*
 		}
 		rec.ReplayLoaded = make(map[core.ReplayConfig]map[string]bool, len(core.AllReplayConfigs))
 		for _, rc := range core.AllReplayConfigs {
-			loaded, err := an.ReplayUnderConfig(data, rc, app.Meta.ReleaseDate)
+			loaded, err := an.ReplayUnderConfigContext(ctx, data, rc, app.Meta.ReleaseDate)
 			if err != nil {
 				return nil, err
 			}

@@ -39,11 +39,11 @@ func TestRunRecordsPerAppFailures(t *testing.T) {
 			progressMu.Unlock()
 		},
 	}
-	cfg.analyze = func(an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+	cfg.analyze = func(ctx context.Context, an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
 		if appIndex(st, app)%5 == 0 {
 			return nil, fmt.Errorf("injected: %w", errBoom)
 		}
-		return analyzeOne(an, st, app)
+		return analyzeOne(ctx, an, st, app)
 	}
 	res, err := Run(cfg)
 	if err != nil {
@@ -108,7 +108,7 @@ func TestRunRetryRecoversTransientFailure(t *testing.T) {
 	var mu sync.Mutex
 	attempts := map[int]int{}
 	cfg := Config{Seed: 13, Scale: 0.002, Workers: 2} // MaxAttempts default: 2
-	cfg.analyze = func(an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+	cfg.analyze = func(ctx context.Context, an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
 		i := appIndex(st, app)
 		mu.Lock()
 		attempts[i]++
@@ -117,7 +117,7 @@ func TestRunRetryRecoversTransientFailure(t *testing.T) {
 		if i == 1 && n == 1 {
 			return nil, errors.New("transient")
 		}
-		return analyzeOne(an, st, app)
+		return analyzeOne(ctx, an, st, app)
 	}
 	res, err := Run(cfg)
 	if err != nil {
@@ -145,7 +145,7 @@ func TestRunFailFastStopsDispatch(t *testing.T) {
 		Seed: 11, Scale: 0.004, Workers: 1,
 		OnFailure: FailFast, MaxAttempts: 1,
 	}
-	cfg.analyze = func(an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+	cfg.analyze = func(ctx context.Context, an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
 		atomic.AddInt32(&calls, 1)
 		return nil, fmt.Errorf("fatal for %s", app.Spec.Pkg)
 	}
@@ -184,11 +184,11 @@ func TestRunCancellationMidRun(t *testing.T) {
 	defer cancel()
 	var calls int32
 	cfg := Config{Seed: 11, Scale: 0.004, Workers: 1, Context: ctx}
-	cfg.analyze = func(an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+	cfg.analyze = func(ctx context.Context, an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
 		if atomic.AddInt32(&calls, 1) == 2 {
 			cancel()
 		}
-		return analyzeOne(an, st, app)
+		return analyzeOne(ctx, an, st, app)
 	}
 	_, err := Run(cfg)
 	if err == nil || !errors.Is(err, context.Canceled) {

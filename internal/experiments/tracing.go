@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/trace"
+)
+
+// traceCollector aggregates the span trees produced by the run's workers
+// into exact per-stage duration distributions plus a bounded list of the
+// slowest apps. Safe for concurrent use.
+type traceCollector struct {
+	mu      sync.Mutex
+	durs    map[string][]time.Duration
+	slowest []SlowApp // sorted slowest-first, len <= keep
+	keep    int
+}
+
+func newTraceCollector(keep int) *traceCollector {
+	return &traceCollector{durs: make(map[string][]time.Duration), keep: keep}
+}
+
+// add folds one app's trace in: every span's duration lands in its
+// name's distribution (multiple spans of one name in a tree — e.g. the
+// four replays — each count), and the trace competes for a slow slot by
+// root duration.
+func (c *traceCollector) add(pkg string, t *trace.Trace) {
+	if c == nil || t == nil || t.Root == nil {
+		return
+	}
+	total := t.Root.Duration()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.Root.Walk(func(s *trace.Span) {
+		c.durs[s.Name] = append(c.durs[s.Name], s.Duration())
+	})
+	if c.keep <= 0 {
+		return
+	}
+	if len(c.slowest) == c.keep && total <= c.slowest[len(c.slowest)-1].Total {
+		return
+	}
+	c.slowest = append(c.slowest, SlowApp{Package: pkg, Total: total, Trace: t})
+	sort.Slice(c.slowest, func(i, j int) bool { return c.slowest[i].Total > c.slowest[j].Total })
+	if len(c.slowest) > c.keep {
+		c.slowest = c.slowest[:c.keep]
+	}
+}
+
+// stats returns the exact per-stage quantiles and the kept slow traces.
+func (c *traceCollector) stats() (map[string]Quantiles, []SlowApp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Quantiles, len(c.durs))
+	for name, durs := range c.durs {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		out[name] = Quantiles{
+			Count: len(durs),
+			P50:   quantileExact(durs, 0.50),
+			P95:   quantileExact(durs, 0.95),
+			P99:   quantileExact(durs, 0.99),
+		}
+	}
+	return out, append([]SlowApp(nil), c.slowest...)
+}
+
+// quantileExact is the nearest-rank order statistic over sorted durs.
+func quantileExact(durs []time.Duration, q float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(durs)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(durs) {
+		rank = len(durs)
+	}
+	return durs[rank-1]
+}
+
+// writeTraceDir persists the run's observability artifacts: the kept
+// slowest traces as JSONL and the whole RunStats block as JSON.
+func writeTraceDir(dir string, st RunStats) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "traces.jsonl"))
+	if err != nil {
+		return fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	for _, s := range st.Slowest {
+		if err := trace.EncodeJSONL(f, s.Trace); err != nil {
+			f.Close()
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	raw, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "runstats.json"), raw, 0o644); err != nil {
+		return fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/trace"
+)
+
+// TestRunStageQuantilesFromTraces: a healthy run carries exact per-span
+// quantiles sourced from the collected traces, one "app" root per app.
+func TestRunStageQuantilesFromTraces(t *testing.T) {
+	res := small(t)
+	st := res.RunStats
+	if len(st.StageQuantiles) == 0 {
+		t.Fatal("no stage quantiles collected")
+	}
+	for _, span := range []string{"app", "analyze", "unpack", "dynamic", "static", "replay"} {
+		q, ok := st.StageQuantiles[span]
+		if !ok || q.Count == 0 {
+			t.Fatalf("span %q missing from quantiles: %+v", span, st.StageQuantiles)
+		}
+		if q.P50 <= 0 || q.P50 > q.P95 || q.P95 > q.P99 {
+			t.Fatalf("span %q quantiles not monotone: %+v", span, q)
+		}
+	}
+	if got, want := st.StageQuantiles["app"].Count, st.Apps; got != want {
+		t.Fatalf("app span count = %d, want %d", got, want)
+	}
+	// Four replay configs per malware-flagged app.
+	if got := st.StageQuantiles["replay"].Count; got%4 != 0 || got <= 0 || got > 4*st.Apps {
+		t.Fatalf("replay span count = %d, want positive multiple of 4 <= %d", got, 4*st.Apps)
+	}
+	out := st.String()
+	for _, want := range []string{"trace quantiles", "slowest apps:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RunStats rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunKeepsSlowestTraces: the runner retains a bounded, sorted list of
+// the slowest app traces, each rooted at a span covering the whole app.
+func TestRunKeepsSlowestTraces(t *testing.T) {
+	res := small(t)
+	slow := res.RunStats.Slowest
+	if len(slow) == 0 {
+		t.Fatal("no slow traces kept")
+	}
+	if len(slow) > 5 {
+		t.Fatalf("kept %d traces, want <= default 5", len(slow))
+	}
+	for i, s := range slow {
+		if s.Package == "" || s.Trace == nil || s.Trace.Root == nil {
+			t.Fatalf("slow entry %d incomplete: %+v", i, s)
+		}
+		if s.Trace.Root.Name != "app" {
+			t.Fatalf("slow entry %d root span = %q, want app", i, s.Trace.Root.Name)
+		}
+		if s.Total != s.Trace.Root.Duration() {
+			t.Fatalf("slow entry %d total %s != root duration %s", i, s.Total, s.Trace.Root.Duration())
+		}
+		if i > 0 && s.Total > slow[i-1].Total {
+			t.Fatalf("slow traces not sorted: %s > %s at %d", s.Total, slow[i-1].Total, i)
+		}
+	}
+}
+
+// TestRunWritesTraceDir: with TraceDir set, the run persists the kept
+// traces as JSONL and the RunStats block as JSON, both round-trippable.
+func TestRunWritesTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(Config{Seed: 17, Scale: 0.002, Workers: 2, TraceDir: dir, SlowTraces: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.RunStats.Slowest) == 0 || len(res.RunStats.Slowest) > 3 {
+		t.Fatalf("Slowest = %d entries, want 1..3", len(res.RunStats.Slowest))
+	}
+
+	f, err := os.Open(filepath.Join(dir, "traces.jsonl"))
+	if err != nil {
+		t.Fatalf("traces.jsonl: %v", err)
+	}
+	defer f.Close()
+	traces, err := trace.DecodeJSONL(f)
+	if err != nil {
+		t.Fatalf("DecodeJSONL: %v", err)
+	}
+	if len(traces) != len(res.RunStats.Slowest) {
+		t.Fatalf("persisted %d traces, want %d", len(traces), len(res.RunStats.Slowest))
+	}
+	for i, tr := range traces {
+		if tr.Root == nil || tr.Root.Name != "app" {
+			t.Fatalf("trace %d has no app root", i)
+		}
+		if tr.Root.Duration() <= 0 {
+			t.Fatalf("trace %d root duration = %s", i, tr.Root.Duration())
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "runstats.json"))
+	if err != nil {
+		t.Fatalf("runstats.json: %v", err)
+	}
+	var st RunStats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("runstats.json decode: %v", err)
+	}
+	if st.Apps != res.RunStats.Apps || len(st.StageQuantiles) == 0 {
+		t.Fatalf("persisted RunStats incomplete: apps=%d quantiles=%d", st.Apps, len(st.StageQuantiles))
+	}
+}
+
+// TestQuantileExact pins the nearest-rank definition.
+func TestQuantileExact(t *testing.T) {
+	durs := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 5}, {0.95, 10}, {0.99, 10}, {0.10, 1}, {1.0, 10},
+	}
+	for _, c := range cases {
+		if got := quantileExact(durs, c.q); got != c.want {
+			t.Fatalf("quantileExact(q=%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if got := quantileExact(nil, 0.5); got != 0 {
+		t.Fatalf("quantileExact(nil) = %d, want 0", got)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"reflect"
@@ -32,9 +33,9 @@ func TestWarmStartSkipsAnalyzedApps(t *testing.T) {
 	cfg := Config{Seed: 11, Scale: 0.002, Workers: 4, Warm: ws}
 
 	var cold atomic.Int64
-	cfg.analyze = func(an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+	cfg.analyze = func(ctx context.Context, an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
 		cold.Add(1)
-		return analyzeOne(an, st, app)
+		return analyzeOne(ctx, an, st, app)
 	}
 	r1, err := Run(cfg)
 	if err != nil {
@@ -55,9 +56,9 @@ func TestWarmStartSkipsAnalyzedApps(t *testing.T) {
 
 	var warm atomic.Int64
 	cfg.Metrics = nil
-	cfg.analyze = func(an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+	cfg.analyze = func(ctx context.Context, an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
 		warm.Add(1)
-		return analyzeOne(an, st, app)
+		return analyzeOne(ctx, an, st, app)
 	}
 	r2, err := Run(cfg)
 	if err != nil {
@@ -122,11 +123,11 @@ func TestWarmStartConfigMismatchIsMiss(t *testing.T) {
 func TestWarmStartDoesNotCacheFailures(t *testing.T) {
 	ws := openWarmStore(t)
 	cfg := Config{Seed: 11, Scale: 0.002, Workers: 2, MaxAttempts: 1, Warm: ws}
-	cfg.analyze = func(an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+	cfg.analyze = func(ctx context.Context, an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
 		if appIndex(st, app) == 0 {
 			return nil, errors.New("injected failure")
 		}
-		return analyzeOne(an, st, app)
+		return analyzeOne(ctx, an, st, app)
 	}
 	r1, err := Run(cfg)
 	if err != nil {

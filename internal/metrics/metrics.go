@@ -69,6 +69,23 @@ func (r *Registry) Counter(name string) int64 {
 	return atomic.LoadInt64(c)
 }
 
+// HistSnapshot returns the current summary of the named histogram (the
+// zero StageStats when it was never observed). It is the histogram
+// counterpart of the Counter point-read: callers inspecting one stage no
+// longer pay for a full Snapshot.
+func (r *Registry) HistSnapshot(name string) StageStats {
+	if r == nil {
+		return StageStats{}
+	}
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	r.mu.Unlock()
+	if !ok {
+		return StageStats{}
+	}
+	return h.stats()
+}
+
 // Observe records one duration into the named histogram.
 func (r *Registry) Observe(name string, d time.Duration) {
 	if r == nil {

@@ -120,3 +120,53 @@ func TestCounterPointRead(t *testing.T) {
 		t.Fatalf("nil registry counter = %d", got)
 	}
 }
+
+func TestHistSnapshotPointRead(t *testing.T) {
+	r := New()
+	if got := r.HistSnapshot("absent"); got.Count != 0 {
+		t.Fatalf("absent histogram count = %d", got.Count)
+	}
+	r.Observe("stage.unpack", 2*time.Millisecond)
+	r.Observe("stage.unpack", 6*time.Millisecond)
+	st := r.HistSnapshot("stage.unpack")
+	if st.Count != 2 || st.Total != 8*time.Millisecond {
+		t.Fatalf("point read = %+v, want count 2 total 8ms", st)
+	}
+	if full := r.Snapshot().Stages["stage.unpack"]; full != st {
+		t.Fatalf("point read %+v differs from snapshot %+v", st, full)
+	}
+	var nilReg *Registry
+	if got := nilReg.HistSnapshot("x"); got.Count != 0 {
+		t.Fatal("nil registry HistSnapshot must be zero")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Add("service.scan.requests", 7)
+	r.Add("status.no-dcl", 2)
+	r.Observe("stage.unpack", 3*time.Millisecond)
+	r.Observe("stage.unpack", 3*time.Millisecond)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dydroid_service_scan_requests_total counter",
+		"dydroid_service_scan_requests_total 7",
+		"dydroid_status_no_dcl_total 2",
+		"# TYPE dydroid_stage_unpack_seconds histogram",
+		`dydroid_stage_unpack_seconds_bucket{le="+Inf"} 2`,
+		"dydroid_stage_unpack_seconds_sum 0.006",
+		"dydroid_stage_unpack_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets are cumulative: the 4.096ms bucket holds both observations.
+	if !strings.Contains(out, `dydroid_stage_unpack_seconds_bucket{le="0.004096"} 2`) {
+		t.Fatalf("cumulative bucket missing:\n%s", out)
+	}
+	var nilReg *Registry
+	nilReg.WritePrometheus(&b) // must not panic
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// WritePrometheus renders every counter and histogram in the Prometheus
+// text exposition format (version 0.0.4), the `/v1/metricz?format=prom`
+// body of the vetting daemon. Metric names are prefixed "dydroid_" and
+// sanitized (runs of non-alphanumerics collapse to '_'); histograms
+// render cumulative le buckets in seconds plus _sum and _count, matching
+// the registry's exponential microsecond bucketing.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	counters := make(map[string]*int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(w, "%s %d\n", pn, atomic.LoadInt64(counters[name]))
+	}
+	for _, name := range sortedKeys(hists) {
+		pn := promName(name) + "_seconds"
+		buckets, count, total := hists[name].snapshotBuckets()
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum int64
+		// Trailing empty buckets collapse into +Inf to keep the
+		// exposition compact; cumulative counts stay exact.
+		last := len(buckets) - 1
+		for last > 0 && buckets[last] == 0 {
+			last--
+		}
+		for i := 0; i <= last; i++ {
+			cum += buckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", pn, bucketBound(i).Seconds(), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, count)
+		fmt.Fprintf(w, "%s_sum %g\n", pn, total.Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", pn, count)
+	}
+}
+
+// snapshotBuckets copies out the raw distribution for exposition.
+func (h *histogram) snapshotBuckets() (buckets [numBuckets]int64, count int64, total time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buckets, h.count, h.total
+}
+
+// promName maps a registry name like "stage.unpack" or
+// "status.no-dcl" to a Prometheus-safe "dydroid_stage_unpack" /
+// "dydroid_status_no_dcl".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("dydroid_")
+	lastUnderscore := false
+	for _, c := range name {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		switch {
+		case ok:
+			b.WriteRune(c)
+			lastUnderscore = c == '_'
+		case !lastUnderscore:
+			b.WriteByte('_')
+			lastUnderscore = true
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}

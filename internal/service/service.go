@@ -11,8 +11,15 @@
 //	                         or 202 + job id (the digest), or 429 when
 //	                         the queue is full
 //	GET  /v1/result/{digest} fetch a verdict; 202 while in flight
+//	GET  /v1/trace/{digest}  fetch the analysis span tree of a digest
 //	GET  /v1/healthz         liveness + queue occupancy
 //	GET  /v1/metricz         text rendering of the metrics registry
+//	                         (?format=prom for Prometheus exposition)
+//	GET  /debug/pprof/       runtime profiling (net/http/pprof)
+//
+// Every response that resolves a digest carries an X-Dydroid-Trace
+// header naming the trace of its analysis run, servable from the trace
+// endpoint once the run completes.
 package service
 
 import (
@@ -21,15 +28,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/dydroid/dydroid/internal/apk"
 	"github.com/dydroid/dydroid/internal/bouncer"
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/resultstore"
+	"github.com/dydroid/dydroid/internal/trace"
 )
 
 // Config assembles a Server.
@@ -52,6 +63,12 @@ type Config struct {
 	Metrics *metrics.Registry
 	// MaxBodyBytes bounds one submission (default 64 MiB).
 	MaxBodyBytes int64
+	// Traces, when non-nil, stores each submission's analysis span tree
+	// keyed by digest, served at GET /v1/trace/{digest}. Optional.
+	Traces *trace.Store
+	// Logger, when non-nil, receives one structured line per HTTP request
+	// (method, path, digest, status, latency, trace ID). Optional.
+	Logger *slog.Logger
 }
 
 // Server is the vetting daemon. Create with New, mount Handler on an
@@ -112,14 +129,84 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP routes.
+// Handler returns the daemon's HTTP routes (wrapped in the request
+// logger when Config.Logger is set).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scan", s.handleScan)
 	mux.HandleFunc("GET /v1/result/{digest}", s.handleResult)
+	mux.HandleFunc("GET /v1/trace/{digest}", s.handleTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metricz", s.handleMetricz)
-	return mux
+	// Runtime introspection: profiles, heap, goroutines, execution traces.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s.logging(mux)
+}
+
+// TraceID derives the deterministic trace ID of a digest's analysis run
+// (its leading 16 hex chars), so clients can compute it from a digest
+// without waiting for the X-Dydroid-Trace header.
+func TraceID(digest string) string {
+	if len(digest) > 16 {
+		return digest[:16]
+	}
+	return digest
+}
+
+// requestMeta is filled by handlers as they resolve a digest, so the
+// logging middleware can report it without re-parsing bodies.
+type requestMeta struct {
+	digest string
+}
+
+type metaKey struct{}
+
+// noteDigest records the request's digest for the access log and stamps
+// the X-Dydroid-Trace response header.
+func noteDigest(w http.ResponseWriter, r *http.Request, digest string) {
+	w.Header().Set("X-Dydroid-Trace", TraceID(digest))
+	if m, ok := r.Context().Value(metaKey{}).(*requestMeta); ok {
+		m.digest = digest
+	}
+}
+
+// statusWriter captures the response code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logging wraps next with structured request logging; without a
+// configured logger the handler chain is untouched.
+func (s *Server) logging(next http.Handler) http.Handler {
+	if s.cfg.Logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		meta := &requestMeta{}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), metaKey{}, meta)))
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"latency_ms", float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if meta.digest != "" {
+			attrs = append(attrs, "digest", meta.digest, "trace", TraceID(meta.digest))
+		}
+		s.cfg.Logger.Info("request", attrs...)
+	})
 }
 
 // Shutdown stops accepting submissions, drains every queued and in-flight
@@ -170,6 +257,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	noteDigest(w, r, digest)
 
 	// Fast path: an in-flight twin (singleflight) or a cached verdict.
 	s.mu.Lock()
@@ -218,6 +306,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
+	noteDigest(w, r, digest)
 	s.mu.Lock()
 	_, pending := s.inflight[digest]
 	failMsg, failedOnce := s.failed[digest]
@@ -237,6 +326,24 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusNotFound, "unknown digest")
 }
 
+// handleTrace serves the stored analysis span tree of a digest. 404
+// covers "tracing disabled", "never analyzed" and "evicted" alike — the
+// trace store is bounded, so absence is an expected state.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	noteDigest(w, r, digest)
+	if s.cfg.Traces == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	raw, err := s.cfg.Traces.GetRaw(digest)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no trace for digest")
+		return
+	}
+	writeRaw(w, http.StatusOK, raw)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	closed := s.closed
@@ -246,16 +353,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if closed {
 		status = "draining"
 	}
+	// The histogram point-read keeps this endpoint cheap enough for tight
+	// liveness-probe intervals (no full registry snapshot).
+	job := s.reg.HistSnapshot("service.job")
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      status,
 		"queue_len":   len(s.jobs),
 		"queue_depth": cap(s.jobs),
 		"inflight":    inflight,
 		"workers":     s.cfg.Workers,
+		"jobs_done":   job.Count,
+		"job_p50_ms":  float64(job.P50) / float64(time.Millisecond),
+		"job_p99_ms":  float64(job.P99) / float64(time.Millisecond),
 	})
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+		if s.cfg.Store != nil {
+			st := s.cfg.Store.Stats()
+			for _, c := range []struct {
+				name  string
+				value int64
+			}{
+				{"dydroid_resultstore_hits_total", st.Hits},
+				{"dydroid_resultstore_misses_total", st.Misses},
+				{"dydroid_resultstore_cache_hits_total", st.CacheHits},
+				{"dydroid_resultstore_puts_total", st.Puts},
+				{"dydroid_resultstore_stale_total", st.Stale},
+				{"dydroid_resultstore_quarantined_total", st.Quarantined},
+			} {
+				fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.value)
+			}
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, s.reg.Snapshot().String())
 	if s.cfg.Store != nil {
@@ -311,17 +445,32 @@ func (s *Server) worker() {
 }
 
 // analyzeAPK is the real work function: optional Bouncer review, then the
-// full pipeline.
+// full pipeline. Both phases join one trace rooted at a "scan" span
+// (ID derived from the digest), stored in the trace store even when the
+// run fails — failed scans are exactly the ones worth inspecting.
 func (s *Server) analyzeAPK(digest string, data []byte) (*Record, error) {
+	tr := trace.New("scan", trace.WithID(TraceID(digest)), trace.WithDigest(digest))
+	ctx := trace.ContextWith(context.Background(), tr)
+	rec, err := s.analyzeTraced(ctx, digest, data)
+	tr.Root.EndErr(err)
+	if s.cfg.Traces != nil {
+		if perr := s.cfg.Traces.Put(tr); perr != nil {
+			s.reg.Add("service.trace.errors", 1)
+		}
+	}
+	return rec, err
+}
+
+func (s *Server) analyzeTraced(ctx context.Context, digest string, data []byte) (*Record, error) {
 	var verdict *bouncer.Verdict
 	if s.cfg.Reviewer != nil {
-		v, err := s.cfg.Reviewer.Review(data)
+		v, err := s.cfg.Reviewer.ReviewContext(ctx, data)
 		if err != nil {
 			return nil, fmt.Errorf("service: review: %w", err)
 		}
 		verdict = &v
 	}
-	res, err := s.cfg.Analyzer.AnalyzeAPK(data)
+	res, err := s.cfg.Analyzer.AnalyzeAPKContext(ctx, data)
 	if err != nil {
 		return nil, fmt.Errorf("service: analyze: %w", err)
 	}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EncodeJSONL writes each trace as one compact JSON object per line —
+// the interchange format of the experiments runner's -trace directory
+// and of the on-disk store (a stored trace is a one-line JSONL file).
+func EncodeJSONL(w io.Writer, traces ...*Trace) error {
+	enc := json.NewEncoder(w)
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		if err := enc.Encode(t); err != nil {
+			return fmt.Errorf("trace: encode %s: %w", t.ID, err)
+		}
+	}
+	return nil
+}
+
+// DecodeJSONL reads every trace from a JSONL stream. Blank lines are
+// skipped; a malformed line fails the decode with its line number.
+func DecodeJSONL(r io.Reader) ([]*Trace, error) {
+	var out []*Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		t := new(Trace)
+		if err := json.Unmarshal(raw, t); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if t.Root == nil {
+			return nil, fmt.Errorf("trace: line %d: trace %q has no root span", line, t.ID)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
