@@ -1,0 +1,50 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"github.com/dydroid/dydroid/internal/telemetry"
+)
+
+// runFleet handles the fleet subcommand. `fleet merge` combines per-shard
+// snapshots (experiments fleet.json files or saved /v1/fleet responses)
+// into one aggregate and renders the paper-style measurement report; -o
+// additionally writes the merged snapshot for further merging.
+func runFleet(w io.Writer, args []string) error {
+	if len(args) == 0 || args[0] != "merge" {
+		return fmt.Errorf("usage: apkinspect fleet merge [-o merged.json] <fleet.json>...")
+	}
+	fs := flag.NewFlagSet("fleet merge", flag.ContinueOnError)
+	out := fs.String("o", "", "also write the merged snapshot to this file")
+	measureOnly := fs.Bool("measure-only", false, "render only the deterministic measurement tables (no latency section)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: apkinspect fleet merge [-o merged.json] <fleet.json>...")
+	}
+	merged := telemetry.NewSnapshot(0, 0, 0)
+	merged.Shards = 0
+	for _, path := range fs.Args() {
+		snap, err := telemetry.ReadSnapshot(path)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.Merge(merged, snap); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if *out != "" {
+		if err := merged.WriteFile(*out); err != nil {
+			return err
+		}
+	}
+	if *measureOnly {
+		fmt.Fprint(w, merged.MeasurementReport())
+	} else {
+		fmt.Fprint(w, merged.Report())
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/telemetry"
+)
+
+func writeShard(t *testing.T, path string, pkgs ...string) {
+	t.Helper()
+	a := telemetry.New(telemetry.Options{})
+	for _, pkg := range pkgs {
+		a.ObserveApp(&core.AppResult{
+			Package: pkg,
+			Status:  core.StatusExercised,
+			Events: []*core.DCLEvent{{
+				Kind: core.KindDex, API: "DexClassLoader", Path: "/data/x.dex",
+				CallSite: pkg + ".Main", Entity: core.EntityOwn,
+				Provenance: core.ProvenanceLocal,
+			}},
+		}, nil)
+	}
+	if err := a.Snapshot().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetMerge(t *testing.T) {
+	dir := t.TempDir()
+	s1 := filepath.Join(dir, "shard1.json")
+	s2 := filepath.Join(dir, "shard2.json")
+	writeShard(t, s1, "com.a.one", "com.a.two")
+	writeShard(t, s2, "com.b.three")
+
+	var b strings.Builder
+	out := filepath.Join(dir, "merged.json")
+	if err := runFleet(&b, []string{"merge", "-o", out, s1, s2}); err != nil {
+		t.Fatalf("fleet merge: %v", err)
+	}
+	report := b.String()
+	for _, want := range []string{
+		"fleet: 3 apps across 2 shard(s)",
+		"DCL prevalence",
+		"DexClassLoader",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	merged, err := telemetry.ReadSnapshot(out)
+	if err != nil {
+		t.Fatalf("merged snapshot: %v", err)
+	}
+	if merged.Apps != 3 || merged.Shards != 2 {
+		t.Fatalf("merged apps=%d shards=%d", merged.Apps, merged.Shards)
+	}
+	if merged.Counters["dcl.api.DexClassLoader"] != 3 {
+		t.Fatalf("merged counters = %v", merged.Counters)
+	}
+}
+
+func TestFleetMergeUsage(t *testing.T) {
+	var b strings.Builder
+	if err := runFleet(&b, nil); err == nil {
+		t.Fatal("bare fleet subcommand accepted")
+	}
+	if err := runFleet(&b, []string{"merge"}); err == nil {
+		t.Fatal("merge with no inputs accepted")
+	}
+}

@@ -16,6 +16,13 @@
 //
 //	apkinspect trace -store DIR <digest>
 //	apkinspect trace traces.jsonl
+//
+// The fleet subcommand merges per-shard measurement snapshots (the
+// fleet.json files sharded experiments runs write, or saved /v1/fleet
+// responses from dydroidd) into one paper-style report:
+//
+//	apkinspect fleet merge shard1/fleet.json shard2/fleet.json
+//	apkinspect fleet merge -o merged.json shard*/fleet.json
 package main
 
 import (
@@ -34,6 +41,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		if err := runTrace(os.Stdout, os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "apkinspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		if err := runFleet(os.Stdout, os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "apkinspect:", err)
 			os.Exit(1)
 		}

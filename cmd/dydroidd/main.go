@@ -8,11 +8,14 @@
 //
 //	dydroidd [-addr :8437] [-workers N] [-queue 64] [-store DIR]
 //	         [-cache 512] [-seed 7] [-events 25] [-no-train] [-no-review]
-//	         [-traces DIR] [-logjson]
+//	         [-traces DIR] [-slow-deadline 0] [-logjson]
 //
 // Endpoints: POST /v1/scan, GET /v1/result/{digest}, GET /v1/trace/{digest},
 // GET /v1/healthz, GET /v1/metricz (?format=prom for Prometheus text
-// exposition), and runtime profiling under /debug/pprof/. Submit with curl:
+// exposition), GET /v1/fleet (mergeable measurement snapshot),
+// GET /v1/dashboard (self-refreshing HTML fleet dashboard, ?refresh=N),
+// GET /v1/version (build + format versions), and runtime profiling under
+// /debug/pprof/. Submit with curl:
 //
 //	curl --data-binary @app.apk http://localhost:8437/v1/scan
 //	curl http://localhost:8437/v1/result/<digest>
@@ -49,6 +52,7 @@ import (
 	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/resultstore"
 	"github.com/dydroid/dydroid/internal/service"
+	"github.com/dydroid/dydroid/internal/telemetry"
 	"github.com/dydroid/dydroid/internal/trace"
 )
 
@@ -63,6 +67,7 @@ func main() {
 	noTrain := flag.Bool("no-train", false, "skip DroidNative training (disables malware detection)")
 	noReview := flag.Bool("no-review", false, "skip the Bouncer review phase")
 	traceDir := flag.String("traces", "", "trace store directory (empty = in-memory traces only)")
+	slowDeadline := flag.Duration("slow-deadline", 0, "log analyses exceeding this duration with their span tree (0 disables)")
 	logJSON := flag.Bool("logjson", false, "structured JSON request logging on stderr")
 	flag.Parse()
 
@@ -70,7 +75,7 @@ func main() {
 		Addr: *addr, Workers: *workers, Queue: *queue, StoreDir: *storeDir,
 		CacheSize: *cacheSize, Seed: *seed, Events: *events,
 		NoTrain: *noTrain, NoReview: *noReview,
-		TraceDir: *traceDir, LogJSON: *logJSON,
+		TraceDir: *traceDir, SlowDeadline: *slowDeadline, LogJSON: *logJSON,
 	}
 	if err := run(context.Background(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dydroidd:", err)
@@ -90,7 +95,9 @@ type daemonOptions struct {
 	NoTrain   bool
 	NoReview  bool
 	TraceDir  string
-	LogJSON   bool
+	// SlowDeadline arms the service's slow-analysis watchdog (0 = off).
+	SlowDeadline time.Duration
+	LogJSON      bool
 	// LogWriter overrides the -logjson destination (default os.Stderr);
 	// tests capture the access log here.
 	LogWriter io.Writer
@@ -127,7 +134,7 @@ func run(parent context.Context, o daemonOptions) error {
 	if !o.NoReview {
 		reviewer = &bouncer.Reviewer{Classifier: clf, Network: store.Network, Metrics: reg}
 	}
-	traces, err := trace.OpenStore(trace.StoreOptions{Dir: o.TraceDir})
+	traces, err := trace.OpenStore(trace.StoreOptions{Dir: o.TraceDir, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -144,13 +151,15 @@ func run(parent context.Context, o daemonOptions) error {
 			Seed: o.Seed, MonkeyEvents: o.Events, Classifier: clf,
 			Network: store.Network, SetupDevice: store.SetupDevice, Metrics: reg,
 		}),
-		Reviewer:   reviewer,
-		Store:      rs,
-		Workers:    o.Workers,
-		QueueDepth: o.Queue,
-		Metrics:    reg,
-		Traces:     traces,
-		Logger:     logger,
+		Reviewer:     reviewer,
+		Store:        rs,
+		Workers:      o.Workers,
+		QueueDepth:   o.Queue,
+		Metrics:      reg,
+		Traces:       traces,
+		Fleet:        telemetry.New(telemetry.Options{}),
+		SlowDeadline: o.SlowDeadline,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
@@ -163,6 +172,9 @@ func run(parent context.Context, o daemonOptions) error {
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The runtime sampler keeps the dashboard's goroutine/heap gauges live.
+	stopSampler := telemetry.StartRuntimeSampler(ctx, reg, telemetry.DefaultSampleInterval)
+	defer stopSampler()
 
 	errc := make(chan error, 1)
 	go func() {

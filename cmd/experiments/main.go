@@ -12,7 +12,9 @@
 // result store in DIR: re-runs with the same seed and event budget skip
 // already-analyzed apps. With -trace the run writes its observability
 // artifacts to DIR: traces.jsonl (the slowest apps' span trees, renderable
-// with `apkinspect trace`) and runstats.json (per-stage exact quantiles).
+// with `apkinspect trace`), runstats.json (per-stage exact quantiles) and
+// fleet.json (the shard's mergeable measurement snapshot — combine
+// sharded runs with `apkinspect fleet merge`).
 package main
 
 import (
@@ -36,7 +38,7 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "print the run's metrics snapshot (per-stage timings, throughput, failure counts) to stderr")
 	failFast := flag.Bool("failfast", false, "abort on the first per-app failure instead of recording it and continuing")
 	warmDir := flag.String("warm", "", "warm-start result store directory (re-runs skip already-analyzed apps)")
-	traceDir := flag.String("trace", "", "write traces.jsonl and runstats.json to this directory")
+	traceDir := flag.String("trace", "", "write traces.jsonl, runstats.json and fleet.json to this directory")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers, TraceDir: *traceDir}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/telemetry"
+)
+
+// aggregate re-ingests a slice of records the way a shard runner would,
+// traces omitted (the measurement counters are trace-independent).
+func aggregate(recs []*AppRecord) *telemetry.Snapshot {
+	a := telemetry.New(telemetry.Options{})
+	for _, rec := range recs {
+		if rec == nil || rec.Result == nil {
+			continue
+		}
+		if rec.Err != nil {
+			a.ObserveError(rec.Meta.Package, rec.Err, nil)
+		}
+		a.ObserveApp(rec.Result, nil)
+	}
+	return a.Snapshot()
+}
+
+// TestRunWritesFleetSnapshot: with TraceDir set the run persists its
+// mergeable fleet snapshot, and the file round-trips to the in-memory one.
+func TestRunWritesFleetSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(Config{Seed: 17, Scale: 0.002, Workers: 2, TraceDir: dir})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Fleet == nil {
+		t.Fatal("Results.Fleet is nil")
+	}
+	if int(res.Fleet.Apps) != res.RunStats.Apps {
+		t.Fatalf("fleet apps = %d, run stats apps = %d", res.Fleet.Apps, res.RunStats.Apps)
+	}
+	snap, err := telemetry.ReadSnapshot(filepath.Join(dir, "fleet.json"))
+	if err != nil {
+		t.Fatalf("fleet.json: %v", err)
+	}
+	if snap.Version != telemetry.SnapshotVersion || snap.Apps != res.Fleet.Apps {
+		t.Fatalf("persisted snapshot version=%d apps=%d, want version=%d apps=%d",
+			snap.Version, snap.Apps, telemetry.SnapshotVersion, res.Fleet.Apps)
+	}
+	if snap.MeasurementReport() != res.Fleet.MeasurementReport() {
+		t.Fatal("persisted snapshot renders a different measurement report")
+	}
+	if len(snap.Stages) == 0 {
+		t.Fatal("persisted snapshot has no stage histograms")
+	}
+}
+
+// TestShardMergeMatchesUnsharded is the acceptance criterion: partition a
+// corpus into shards, snapshot each shard to disk, merge the files — the
+// merged aggregate renders byte-identical measurement tables to the
+// single-pass run over the whole corpus.
+func TestShardMergeMatchesUnsharded(t *testing.T) {
+	res, err := Run(Config{Seed: 23, Scale: 0.002, Workers: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	recs := res.Records
+	if len(recs) < 6 {
+		t.Fatalf("corpus too small to shard: %d records", len(recs))
+	}
+
+	whole := aggregate(recs)
+	// The run's own live aggregate (built concurrently, with traces) must
+	// agree with the deterministic single-pass re-aggregation.
+	if whole.MeasurementReport() != res.Fleet.MeasurementReport() {
+		t.Fatalf("run fleet disagrees with record re-aggregation:\n--- run ---\n%s\n--- records ---\n%s",
+			res.Fleet.MeasurementReport(), whole.MeasurementReport())
+	}
+
+	// Three uneven shards, each written to disk and read back — the
+	// apkinspect fleet merge path.
+	dir := t.TempDir()
+	cuts := []int{0, len(recs) / 3, len(recs) / 2, len(recs)}
+	merged := telemetry.NewSnapshot(0, 0, 0)
+	merged.Shards = 0
+	for i := 1; i < len(cuts); i++ {
+		shard := aggregate(recs[cuts[i-1]:cuts[i]])
+		path := filepath.Join(dir, "fleet.json")
+		if err := shard.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := telemetry.ReadSnapshot(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := telemetry.Merge(merged, loaded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Shards != 3 {
+		t.Fatalf("merged shard count = %d, want 3", merged.Shards)
+	}
+	// Byte-identical tables modulo the shard count in the header line.
+	merged.Shards = whole.Shards
+	if got, want := merged.MeasurementReport(), whole.MeasurementReport(); got != want {
+		t.Fatalf("sharded merge diverges from unsharded aggregate:\n--- merged ---\n%s\n--- whole ---\n%s", got, want)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/resultstore"
 	"github.com/dydroid/dydroid/internal/stats"
+	"github.com/dydroid/dydroid/internal/telemetry"
 	"github.com/dydroid/dydroid/internal/trace"
 )
 
@@ -82,7 +83,8 @@ type Config struct {
 	Warm *resultstore.Store
 	// TraceDir, when non-empty, is created if missing and receives the
 	// run's observability artifacts: traces.jsonl (the kept slowest app
-	// span trees, one per line) and runstats.json (the RunStats block).
+	// span trees, one per line), runstats.json (the RunStats block) and
+	// fleet.json (the shard's mergeable measurement snapshot).
 	TraceDir string
 	// SlowTraces bounds how many of the slowest app traces the run keeps
 	// in RunStats.Slowest (default 5, negative disables keeping traces).
@@ -207,6 +209,11 @@ type Results struct {
 	Elapsed time.Duration
 	// RunStats carries throughput, failure counts and per-stage timings.
 	RunStats RunStats
+	// Fleet is the run's mergeable measurement snapshot — the same shape
+	// dydroidd serves at /v1/fleet. With Config.TraceDir set it is also
+	// written as fleet.json, so sharded runs can be combined with
+	// `apkinspect fleet merge`.
+	Fleet *telemetry.Snapshot
 }
 
 // Err aggregates the per-app failures recorded under the FailRecord
@@ -283,10 +290,11 @@ func Run(cfg Config) (*Results, error) {
 	)
 	jobs := make(chan int)
 	collector := newTraceCollector(cfg.SlowTraces)
+	fleet := telemetry.New(telemetry.Options{})
 
 	// runTraced wraps one analysis attempt in a fresh per-app trace whose
 	// root "app" span covers the pipeline plus any replays; successful
-	// attempts feed the collector.
+	// attempts feed the collector and the fleet aggregator.
 	runTraced := func(an *core.Analyzer, app *corpus.StoreApp, digest string) (*AppRecord, error) {
 		actx, root := trace.Start(ctx, "app")
 		if digest != "" {
@@ -297,6 +305,7 @@ func Run(cfg Config) (*Results, error) {
 		root.EndErr(err)
 		if err == nil {
 			collector.add(app.Spec.Pkg, trace.FromContext(actx))
+			fleet.ObserveApp(rec.Result, trace.FromContext(actx))
 		}
 		return rec, err
 	}
@@ -336,10 +345,16 @@ func Run(cfg Config) (*Results, error) {
 						cancel()
 					} else {
 						rec = failureRecord(app, err)
+						fleet.ObserveError(app.Spec.Pkg, err, nil)
+						fleet.ObserveApp(rec.Result, nil)
 					}
 				} else if cfg.Warm != nil {
 					warmSave(cfg.Warm, cfg, digest, rec, reg)
 				}
+			} else {
+				// Warm hit: the cached result still counts in this shard's
+				// measurement aggregate (no trace — analysis was skipped).
+				fleet.ObserveApp(rec.Result, nil)
 			}
 			records[i] = rec
 			mu.Lock()
@@ -387,8 +402,9 @@ dispatch:
 	}
 	res.RunStats = buildStats(reg, records, elapsed, failed, retried)
 	res.RunStats.StageQuantiles, res.RunStats.Slowest = collector.stats()
+	res.Fleet = fleet.Snapshot()
 	if cfg.TraceDir != "" {
-		if err := writeTraceDir(cfg.TraceDir, res.RunStats); err != nil {
+		if err := writeTraceDir(cfg.TraceDir, res.RunStats, res.Fleet); err != nil {
 			return nil, err
 		}
 	}

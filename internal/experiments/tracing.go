@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/dydroid/dydroid/internal/telemetry"
 	"github.com/dydroid/dydroid/internal/trace"
 )
 
@@ -86,8 +87,9 @@ func quantileExact(durs []time.Duration, q float64) time.Duration {
 }
 
 // writeTraceDir persists the run's observability artifacts: the kept
-// slowest traces as JSONL and the whole RunStats block as JSON.
-func writeTraceDir(dir string, st RunStats) error {
+// slowest traces as JSONL, the whole RunStats block as JSON, and the
+// shard's mergeable fleet snapshot (fleet.json).
+func writeTraceDir(dir string, st RunStats, fleet *telemetry.Snapshot) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("experiments: trace dir: %w", err)
 	}
@@ -110,6 +112,11 @@ func writeTraceDir(dir string, st RunStats) error {
 	}
 	if err := os.WriteFile(filepath.Join(dir, "runstats.json"), raw, 0o644); err != nil {
 		return fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	if fleet != nil {
+		if err := fleet.WriteFile(filepath.Join(dir, "fleet.json")); err != nil {
+			return fmt.Errorf("experiments: trace dir: %w", err)
+		}
 	}
 	return nil
 }

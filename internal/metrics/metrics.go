@@ -21,12 +21,25 @@ import (
 // (1µs·2^(i-1), 1µs·2^i], so the top bucket reaches past half an hour.
 const numBuckets = 32
 
-// Registry holds named counters and histograms. All methods are safe for
+// NumBuckets is the shared histogram resolution, exported so other
+// packages (the fleet telemetry aggregator) can build duration
+// distributions that merge bucket-for-bucket with this registry's.
+const NumBuckets = numBuckets
+
+// BucketOf returns the index of the exponential bucket holding d, under
+// the same scheme the registry's histograms use.
+func BucketOf(d time.Duration) int { return bucketOf(d) }
+
+// BucketBound is the inclusive upper bound of bucket i.
+func BucketBound(i int) time.Duration { return bucketBound(i) }
+
+// Registry holds named counters, gauges and histograms. All methods are safe for
 // concurrent use, and every method is a no-op on a nil receiver so callers
 // can thread an optional *Registry without nil checks at each site.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*int64
+	gauges   map[string]*int64
 	hists    map[string]*histogram
 }
 
@@ -34,6 +47,7 @@ type Registry struct {
 func New() *Registry {
 	return &Registry{
 		counters: make(map[string]*int64),
+		gauges:   make(map[string]*int64),
 		hists:    make(map[string]*histogram),
 	}
 }
@@ -67,6 +81,52 @@ func (r *Registry) Counter(name string) int64 {
 		return 0
 	}
 	return atomic.LoadInt64(c)
+}
+
+// gauge returns the named gauge cell, creating it at zero first.
+func (r *Registry) gauge(name string) *int64 {
+	r.mu.Lock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(int64)
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	return g
+}
+
+// SetGauge pins the named gauge to v, creating it first. Unlike counters,
+// gauges represent instantaneous levels (queue depth, store occupancy,
+// goroutine count) and may move in both directions.
+func (r *Registry) SetGauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	atomic.StoreInt64(r.gauge(name), v)
+}
+
+// AddGauge moves the named gauge by delta (negative deltas allowed),
+// creating it at zero first.
+func (r *Registry) AddGauge(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	atomic.AddInt64(r.gauge(name), delta)
+}
+
+// Gauge returns the current value of the named gauge (zero when it was
+// never set).
+func (r *Registry) Gauge(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	g, ok := r.gauges[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(g)
 }
 
 // HistSnapshot returns the current summary of the named histogram (the
@@ -210,13 +270,16 @@ type StageStats struct {
 // Snapshot is a point-in-time copy of a registry's state.
 type Snapshot struct {
 	Counters map[string]int64
+	Gauges   map[string]int64
 	Stages   map[string]StageStats
 }
 
-// Snapshot copies out every counter value and histogram summary.
+// Snapshot copies out every counter value, gauge level and histogram
+// summary.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
 		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
 		Stages:   make(map[string]StageStats),
 	}
 	if r == nil {
@@ -227,6 +290,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, c := range r.counters {
 		counters[name] = c
 	}
+	gauges := make(map[string]*int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
 	hists := make(map[string]*histogram, len(r.hists))
 	for name, h := range r.hists {
 		hists[name] = h
@@ -234,6 +301,9 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Unlock()
 	for name, c := range counters {
 		snap.Counters[name] = atomic.LoadInt64(c)
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = atomic.LoadInt64(g)
 	}
 	for name, h := range hists {
 		snap.Stages[name] = h.stats()
@@ -251,8 +321,17 @@ func (s Snapshot) String() string {
 			fmt.Fprintf(w, "%s\t%d\n", name, s.Counters[name])
 		}
 	}
-	if len(s.Stages) > 0 {
+	if len(s.Gauges) > 0 {
 		if len(s.Counters) > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "gauge\tvalue")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "%s\t%d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Stages) > 0 {
+		if len(s.Counters)+len(s.Gauges) > 0 {
 			fmt.Fprintln(w)
 		}
 		fmt.Fprintln(w, "stage\tcount\ttotal\tmean\tp50\tp90\tp99\tmax")

@@ -170,3 +170,80 @@ func TestWritePrometheus(t *testing.T) {
 	var nilReg *Registry
 	nilReg.WritePrometheus(&b) // must not panic
 }
+
+func TestGauges(t *testing.T) {
+	r := New()
+	if got := r.Gauge("queue.len"); got != 0 {
+		t.Fatalf("unset gauge = %d, want 0", got)
+	}
+	r.SetGauge("queue.len", 5)
+	r.AddGauge("queue.len", -2)
+	r.AddGauge("heap.bytes", 1024)
+	if got := r.Gauge("queue.len"); got != 3 {
+		t.Fatalf("queue.len = %d, want 3", got)
+	}
+	snap := r.Snapshot()
+	if snap.Gauges["queue.len"] != 3 || snap.Gauges["heap.bytes"] != 1024 {
+		t.Fatalf("snapshot gauges = %v", snap.Gauges)
+	}
+	if out := snap.String(); !strings.Contains(out, "gauge") || !strings.Contains(out, "queue.len") {
+		t.Fatalf("snapshot string missing gauge section:\n%s", out)
+	}
+
+	var nilReg *Registry
+	nilReg.SetGauge("x", 1)
+	nilReg.AddGauge("x", 1)
+	if nilReg.Gauge("x") != 0 {
+		t.Fatal("nil registry gauge should read 0")
+	}
+}
+
+func TestGaugesConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.AddGauge("g", 1)
+				r.AddGauge("g", -1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Gauge("g"); got != 0 {
+		t.Fatalf("gauge after balanced adds = %d, want 0", got)
+	}
+}
+
+func TestWritePrometheusGauge(t *testing.T) {
+	r := New()
+	r.SetGauge("trace.store.len", 42)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dydroid_trace_store_len gauge",
+		"dydroid_trace_store_len 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportedBucketScheme(t *testing.T) {
+	for _, d := range []time.Duration{0, time.Microsecond, 3 * time.Millisecond, time.Hour} {
+		i := BucketOf(d)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("BucketOf(%v) = %d out of range", d, i)
+		}
+		if d > 0 && d > BucketBound(i) && i < NumBuckets-1 {
+			t.Fatalf("BucketOf(%v) = %d but bound is only %v", d, i, BucketBound(i))
+		}
+	}
+	if BucketBound(0) != time.Microsecond {
+		t.Fatalf("BucketBound(0) = %v", BucketBound(0))
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"time"
 )
 
-// WritePrometheus renders every counter and histogram in the Prometheus
+// WritePrometheus renders every counter, gauge and histogram in the Prometheus
 // text exposition format (version 0.0.4), the `/v1/metricz?format=prom`
 // body of the vetting daemon. Metric names are prefixed "dydroid_" and
 // sanitized (runs of non-alphanumerics collapse to '_'); histograms
@@ -23,6 +23,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for name, c := range r.counters {
 		counters[name] = c
 	}
+	gauges := make(map[string]*int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
 	hists := make(map[string]*histogram, len(r.hists))
 	for name, h := range r.hists {
 		hists[name] = h
@@ -33,6 +37,11 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		pn := promName(name) + "_total"
 		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
 		fmt.Fprintf(w, "%s %d\n", pn, atomic.LoadInt64(counters[name]))
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(w, "%s %d\n", pn, atomic.LoadInt64(gauges[name]))
 	}
 	for _, name := range sortedKeys(hists) {
 		pn := promName(name) + "_seconds"

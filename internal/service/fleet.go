@@ -1,0 +1,152 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/telemetry"
+	"github.com/dydroid/dydroid/internal/trace"
+)
+
+// handleFleet serves the current fleet aggregate as a versioned JSON
+// snapshot — the same shape `experiments` writes per shard and
+// `apkinspect fleet merge` combines.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Fleet.Snapshot())
+}
+
+// handleDashboard renders the self-refreshing HTML fleet dashboard. The
+// refresh interval defaults to 2 s and is tunable per request with
+// ?refresh=N (0 disables the meta refresh).
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	refresh := 2
+	if q := r.URL.Query().Get("refresh"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n >= 0 {
+			refresh = n
+		}
+	}
+	vi := versionInfo()
+	header := []telemetry.KV{
+		{Key: "build", Value: vi.Version + " (" + vi.GoVersion + ")"},
+		{Key: "record version", Value: strconv.Itoa(vi.RecordVersion)},
+		{Key: "snapshot version", Value: strconv.Itoa(vi.SnapshotVersion)},
+	}
+	if vi.VCSRevision != "" {
+		header = append(header, telemetry.KV{Key: "revision", Value: shortRev(vi.VCSRevision)})
+	}
+	var gauges map[string]int64
+	if s.reg != nil {
+		gauges = s.reg.Snapshot().Gauges
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	telemetry.RenderDashboard(w, telemetry.DashboardData{
+		Title:   "dydroidd fleet",
+		Refresh: refresh,
+		Header:  header,
+		Snap:    s.cfg.Fleet.Snapshot(),
+		Gauges:  gauges,
+		Now:     time.Now(),
+	})
+}
+
+// versionResponse is the body of GET /v1/version: build identity plus the
+// on-the-wire format versions a client needs for compatibility checks.
+type versionResponse struct {
+	Version     string `json:"version"`
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	// RecordVersion is the stored-verdict format (resultstore compat).
+	RecordVersion int `json:"record_version"`
+	// SnapshotVersion is the fleet snapshot format (merge compat).
+	SnapshotVersion int `json:"snapshot_version"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, versionInfo())
+}
+
+// versionInfo reads the build identity stamped into the binary. Without
+// build info (unusual outside tests) the format versions still answer.
+func versionInfo() versionResponse {
+	v := versionResponse{
+		Version:         "devel",
+		RecordVersion:   RecordVersion,
+		SnapshotVersion: telemetry.SnapshotVersion,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.GoVersion = bi.GoVersion
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		v.Version = bi.Main.Version
+	}
+	for _, st := range bi.Settings {
+		switch st.Key {
+		case "vcs.revision":
+			v.VCSRevision = st.Value
+		case "vcs.time":
+			v.VCSTime = st.Value
+		}
+	}
+	return v
+}
+
+func shortRev(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}
+
+// armWatchdog starts the slow-analysis watchdog for one submission. If
+// the analysis outlives Config.SlowDeadline a warning is logged while the
+// run is still in flight (digest only — the live span tree is being
+// mutated by the worker, so rendering waits); the returned disarm func,
+// called with the closed trace, then logs the full rendered span tree so
+// the operator sees where the time went. With a zero deadline both sides
+// are no-ops.
+func (s *Server) armWatchdog(digest string) func(*trace.Trace) {
+	if s.cfg.SlowDeadline <= 0 {
+		return func(*trace.Trace) {}
+	}
+	start := time.Now()
+	timer := time.AfterFunc(s.cfg.SlowDeadline, func() {
+		s.reg.Add("service.slow.analyses", 1)
+		s.watchdogLogger().Warn("analysis exceeding deadline",
+			"digest", digest,
+			"deadline", s.cfg.SlowDeadline.String())
+	})
+	return func(tr *trace.Trace) {
+		stopped := timer.Stop()
+		elapsed := time.Since(start)
+		// Slowness is decided by elapsed time, not timer state: Stop can
+		// win its race against the runtime even after the deadline passed,
+		// in which case the in-flight callback never ran.
+		if elapsed <= s.cfg.SlowDeadline {
+			return
+		}
+		if stopped {
+			s.reg.Add("service.slow.analyses", 1)
+		}
+		var b strings.Builder
+		trace.Render(&b, tr)
+		s.watchdogLogger().Warn("slow analysis completed",
+			"digest", digest,
+			"elapsed", elapsed.String(),
+			"deadline", s.cfg.SlowDeadline.String(),
+			"spans", b.String())
+	}
+}
+
+func (s *Server) watchdogLogger() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
+	}
+	return slog.Default()
+}

@@ -40,6 +40,7 @@ import (
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/resultstore"
+	"github.com/dydroid/dydroid/internal/telemetry"
 	"github.com/dydroid/dydroid/internal/trace"
 )
 
@@ -66,6 +67,14 @@ type Config struct {
 	// Traces, when non-nil, stores each submission's analysis span tree
 	// keyed by digest, served at GET /v1/trace/{digest}. Optional.
 	Traces *trace.Store
+	// Fleet aggregates every completed analysis into the mergeable
+	// snapshot served at GET /v1/fleet and rendered at GET /v1/dashboard.
+	// Nil gets a fresh default aggregator.
+	Fleet *telemetry.Aggregator
+	// SlowDeadline arms the slow-analysis watchdog: any analysis running
+	// past it is logged while still in flight, and its span tree is
+	// rendered to the log once it completes. Zero disables the watchdog.
+	SlowDeadline time.Duration
 	// Logger, when non-nil, receives one structured line per HTTP request
 	// (method, path, digest, status, latency, trace ID). Optional.
 	Logger *slog.Logger
@@ -113,6 +122,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
+	if cfg.Fleet == nil {
+		cfg.Fleet = telemetry.New(telemetry.Options{})
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      cfg.Metrics,
@@ -138,6 +150,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/trace/{digest}", s.handleTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metricz", s.handleMetricz)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("GET /v1/dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	// Runtime introspection: profiles, heap, goroutines, execution traces.
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -295,6 +310,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		delete(s.failed, digest) // a resubmission retries a failed digest
 		s.mu.Unlock()
 		s.reg.Add("service.scan.queued", 1)
+		s.reg.SetGauge("service.queue.len", int64(len(s.jobs)))
 		writeJSON(w, http.StatusAccepted, scanResponse{Digest: digest, Status: "queued"})
 	default:
 		s.mu.Unlock()
@@ -418,6 +434,7 @@ func (s *Server) lookup(digest string) (json.RawMessage, bool) {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
+		s.reg.SetGauge("service.queue.len", int64(len(s.jobs)))
 		stop := s.reg.Time("service.job")
 		rec, err := s.analyze(j.digest, j.data)
 		var raw json.RawMessage
@@ -447,34 +464,46 @@ func (s *Server) worker() {
 // analyzeAPK is the real work function: optional Bouncer review, then the
 // full pipeline. Both phases join one trace rooted at a "scan" span
 // (ID derived from the digest), stored in the trace store even when the
-// run fails — failed scans are exactly the ones worth inspecting.
+// run fails — failed scans are exactly the ones worth inspecting. Every
+// completed analysis feeds the fleet aggregator, and the slow-analysis
+// watchdog flags runs that blow past Config.SlowDeadline.
 func (s *Server) analyzeAPK(digest string, data []byte) (*Record, error) {
 	tr := trace.New("scan", trace.WithID(TraceID(digest)), trace.WithDigest(digest))
 	ctx := trace.ContextWith(context.Background(), tr)
-	rec, err := s.analyzeTraced(ctx, digest, data)
+	disarm := s.armWatchdog(digest)
+	res, verdict, err := s.analyzeTraced(ctx, data)
 	tr.Root.EndErr(err)
+	disarm(tr)
 	if s.cfg.Traces != nil {
 		if perr := s.cfg.Traces.Put(tr); perr != nil {
 			s.reg.Add("service.trace.errors", 1)
 		}
 	}
-	return rec, err
+	if err != nil {
+		s.cfg.Fleet.ObserveError(digest, err, tr)
+		return nil, err
+	}
+	s.cfg.Fleet.ObserveApp(res, tr)
+	if verdict != nil {
+		s.cfg.Fleet.ObserveVerdict(verdict.Approved)
+	}
+	return NewRecord(digest, res, verdict), nil
 }
 
-func (s *Server) analyzeTraced(ctx context.Context, digest string, data []byte) (*Record, error) {
+func (s *Server) analyzeTraced(ctx context.Context, data []byte) (*core.AppResult, *bouncer.Verdict, error) {
 	var verdict *bouncer.Verdict
 	if s.cfg.Reviewer != nil {
 		v, err := s.cfg.Reviewer.ReviewContext(ctx, data)
 		if err != nil {
-			return nil, fmt.Errorf("service: review: %w", err)
+			return nil, nil, fmt.Errorf("service: review: %w", err)
 		}
 		verdict = &v
 	}
 	res, err := s.cfg.Analyzer.AnalyzeAPKContext(ctx, data)
 	if err != nil {
-		return nil, fmt.Errorf("service: analyze: %w", err)
+		return nil, nil, fmt.Errorf("service: analyze: %w", err)
 	}
-	return NewRecord(digest, res, verdict), nil
+	return res, verdict, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

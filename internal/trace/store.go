@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"github.com/dydroid/dydroid/internal/metrics"
 )
 
 // ErrNotFound is returned by Store.Get for digests with no stored trace.
@@ -24,6 +26,10 @@ type StoreOptions struct {
 	// least recently stored/read trace (and deletes its file). Default
 	// 512.
 	Cap int
+	// Metrics, when non-nil, receives the store's occupancy gauge
+	// (trace.store.len) and put/eviction counters (trace.store.puts,
+	// trace.store.evictions), making dashboard memory pressure visible.
+	Metrics *metrics.Registry
 }
 
 // Store is a bounded trace store keyed by APK signing digest: the newest
@@ -32,6 +38,7 @@ type StoreOptions struct {
 type Store struct {
 	dir string
 	cap int
+	reg *metrics.Registry
 
 	mu    sync.Mutex
 	order *list.List // front = most recently used; values are *storeEntry
@@ -52,6 +59,7 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	s := &Store{
 		dir:   opts.Dir,
 		cap:   opts.Cap,
+		reg:   opts.Metrics,
 		order: list.New(),
 		items: make(map[string]*list.Element),
 	}
@@ -147,6 +155,7 @@ func (s *Store) Put(t *Trace) error {
 // insert adds or refreshes an entry and applies the cap; callers in the
 // write path hold s.mu (load runs before the store is shared).
 func (s *Store) insert(digest string, raw json.RawMessage) {
+	s.reg.Add("trace.store.puts", 1)
 	if el, ok := s.items[digest]; ok {
 		el.Value.(*storeEntry).raw = raw
 		s.order.MoveToFront(el)
@@ -158,10 +167,12 @@ func (s *Store) insert(digest string, raw json.RawMessage) {
 		s.order.Remove(oldest)
 		evicted := oldest.Value.(*storeEntry).digest
 		delete(s.items, evicted)
+		s.reg.Add("trace.store.evictions", 1)
 		if s.dir != "" {
 			os.Remove(s.tracePath(evicted))
 		}
 	}
+	s.reg.SetGauge("trace.store.len", int64(s.order.Len()))
 }
 
 // GetRaw returns the stored trace's JSON bytes (the exact body the

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/dydroid/dydroid/internal/metrics"
 )
 
 func storedTrace(digest string) *Trace {
@@ -146,5 +148,37 @@ func TestStoreConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if s.Len() > 8 {
 		t.Fatalf("len = %d, want <= cap", s.Len())
+	}
+}
+
+func TestStoreMetrics(t *testing.T) {
+	reg := metrics.New()
+	s, err := OpenStore(StoreOptions{Cap: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(storedTrace(testDigest(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("trace.store.puts"); got != 3 {
+		t.Fatalf("puts counter = %d, want 3", got)
+	}
+	if got := reg.Counter("trace.store.evictions"); got != 1 {
+		t.Fatalf("evictions counter = %d, want 1", got)
+	}
+	if got := reg.Gauge("trace.store.len"); got != 2 {
+		t.Fatalf("occupancy gauge = %d, want 2", got)
+	}
+	// Refreshing an existing digest counts as a put but changes nothing else.
+	if err := s.Put(storedTrace(testDigest(1))); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("trace.store.puts"); got != 4 {
+		t.Fatalf("puts counter after refresh = %d, want 4", got)
+	}
+	if got := reg.Gauge("trace.store.len"); got != 2 {
+		t.Fatalf("occupancy gauge after refresh = %d, want 2", got)
 	}
 }
