@@ -1,0 +1,98 @@
+// Command bench runs the recorded-trajectory benchmark harness and
+// compares trajectory points.
+//
+//	bench run  [-name NAME] [-seed N] [-scale F] [-workers N] [-out FILE]
+//	bench diff [-threshold PCT] OLD.json NEW.json
+//
+// `bench run` executes the measurement pipeline over a fixed-seed corpus
+// and prints a human-readable table; with -out it also writes the
+// schema-versioned JSON trajectory point (the committed BENCH_<n>.json
+// files at the repo root). `bench diff` loads two trajectory points and
+// reports every metric that regressed beyond the threshold; it exits 1
+// when regressions are found so CI can branch on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dydroid/dydroid/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  bench run  [-name NAME] [-seed N] [-scale F] [-workers N] [-out FILE]
+  bench diff [-threshold PCT] OLD.json NEW.json`)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("bench run", flag.ExitOnError)
+	name := fs.String("name", "trajectory", "label recorded in the result")
+	seed := fs.Int64("seed", 2016, "corpus generation seed")
+	scale := fs.Float64("scale", 0.02, "marketplace scale (1.0 = 58,739 apps)")
+	workers := fs.Int("workers", 0, "pipeline parallelism (0 = GOMAXPROCS)")
+	out := fs.String("out", "", "write the JSON trajectory point to this file")
+	fs.Parse(args)
+
+	res, err := bench.Run(bench.Config{Name: *name, Seed: *seed, Scale: *scale, Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Table())
+	if *out != "" {
+		if err := res.WriteFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("bench diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", bench.DefaultRegressionPct, "regression threshold in percent")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+		os.Exit(2)
+	}
+	base, err := bench.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	head, err := bench.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	regs := bench.Diff(base, head, *threshold)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions beyond %.1f%% (%s -> %s)\n", *threshold, fs.Arg(0), fs.Arg(1))
+		return
+	}
+	fmt.Printf("%d regression(s) beyond %.1f%% (%s -> %s):\n", len(regs), *threshold, fs.Arg(0), fs.Arg(1))
+	for _, g := range regs {
+		fmt.Printf("  %s\n", g)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,303 @@
+// Package bench is the recorded-trajectory benchmark harness for the
+// measurement pipeline. It runs a fixed-seed corpus through
+// experiments.Run, collects throughput (apps/sec, apps/sec-per-core),
+// allocation pressure (allocs and bytes per app) and exact per-stage
+// latency percentiles, and serializes everything as a schema-versioned
+// JSON document (BENCH_<n>.json at the repo root). Committed trajectory
+// files plus the Diff comparator give the repo a recorded performance
+// history: CI reruns the harness at smoke scale and warns when a stage
+// regresses beyond a threshold against the committed baseline.
+//
+// Regenerate the committed trajectory with:
+//
+//	go run ./cmd/bench run -out BENCH_6.json
+//
+// and compare two trajectories with:
+//
+//	go run ./cmd/bench diff BENCH_6.json NEW.json
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/experiments"
+	"github.com/dydroid/dydroid/internal/stats"
+)
+
+// SchemaVersion identifies the Result JSON layout. Bump it when a field
+// is renamed, removed, or changes meaning; adding fields is
+// backward-compatible and does not require a bump.
+const SchemaVersion = 1
+
+// DefaultRegressionPct is the comparator threshold used when the caller
+// does not supply one: a metric moving more than this percentage in the
+// unfavourable direction is flagged.
+const DefaultRegressionPct = 15.0
+
+// Config controls one harness run.
+type Config struct {
+	// Name labels the run (e.g. "trajectory" or "ci-smoke").
+	Name string
+	// Seed drives corpus generation; fixed seeds make the non-timing
+	// portion of the Result reproducible.
+	Seed int64
+	// Scale shrinks the marketplace exactly as experiments.Config.Scale
+	// does (1.0 = the paper's 58,739 apps).
+	Scale float64
+	// Workers is the pipeline parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Result is one recorded benchmark trajectory point. All durations are
+// serialized as explicit *_ns integer fields so the JSON schema is
+// stable across Go versions and does not depend on time.Duration's
+// encoding.
+type Result struct {
+	Schema  int     `json:"schema"`
+	Name    string  `json:"name"`
+	Seed    int64   `json:"seed"`
+	Scale   float64 `json:"scale"`
+	Workers int     `json:"workers"`
+	Cores   int     `json:"cores"`
+
+	// Apps and Statuses describe the measured corpus: deterministic for
+	// a fixed seed and scale.
+	Apps     int            `json:"apps"`
+	Statuses map[string]int `json:"statuses"`
+
+	// Timing section.
+	ElapsedNS         int64   `json:"elapsed_ns"`
+	AppsPerSec        float64 `json:"apps_per_sec"`
+	AppsPerSecPerCore float64 `json:"apps_per_sec_per_core"`
+	AllocsPerApp      int64   `json:"allocs_per_app"`
+	AllocBytesPerApp  int64   `json:"alloc_bytes_per_app"`
+
+	// Stages are the exact per-stage latency percentiles from the run's
+	// span trees, sorted by name.
+	Stages []StageResult `json:"stages"`
+}
+
+// StageResult is one pipeline stage's latency summary.
+type StageResult struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	P50NS int64  `json:"p50_ns"`
+	P95NS int64  `json:"p95_ns"`
+	P99NS int64  `json:"p99_ns"`
+}
+
+// Fingerprint is the deterministic (non-timing) portion of a Result:
+// two runs with the same seed, scale and schema must produce equal
+// fingerprints regardless of machine speed or worker count scheduling.
+type Fingerprint struct {
+	Schema   int
+	Seed     int64
+	Scale    float64
+	Apps     int
+	Statuses map[string]int
+	// StageCounts maps stage name to span count; which spans exist (and
+	// how many) depends only on the corpus, not on timing.
+	StageCounts map[string]int
+}
+
+// Fingerprint extracts the deterministic portion of the result.
+func (r *Result) Fingerprint() Fingerprint {
+	fp := Fingerprint{
+		Schema:      r.Schema,
+		Seed:        r.Seed,
+		Scale:       r.Scale,
+		Apps:        r.Apps,
+		Statuses:    make(map[string]int, len(r.Statuses)),
+		StageCounts: make(map[string]int, len(r.Stages)),
+	}
+	for k, v := range r.Statuses {
+		fp.Statuses[k] = v
+	}
+	for _, s := range r.Stages {
+		fp.StageCounts[s.Name] = s.Count
+	}
+	return fp
+}
+
+// Run executes the harness: one experiments.Run under the given config,
+// with allocation deltas sampled around it.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Name == "" {
+		cfg.Name = "bench"
+	}
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("bench: scale must be positive, got %v", cfg.Scale)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := experiments.Run(experiments.Config{
+		Seed:    cfg.Seed,
+		Scale:   cfg.Scale,
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	runtime.ReadMemStats(&after)
+
+	cores := runtime.GOMAXPROCS(0)
+	out := &Result{
+		Schema:     SchemaVersion,
+		Name:       cfg.Name,
+		Seed:       cfg.Seed,
+		Scale:      cfg.Scale,
+		Workers:    workers,
+		Cores:      cores,
+		Apps:       res.RunStats.Apps,
+		Statuses:   make(map[string]int, len(res.RunStats.StatusCounts)),
+		ElapsedNS:  res.RunStats.Elapsed.Nanoseconds(),
+		AppsPerSec: res.RunStats.AppsPerSec,
+	}
+	if cores > 0 {
+		out.AppsPerSecPerCore = res.RunStats.AppsPerSec / float64(cores)
+	}
+	if apps := int64(res.RunStats.Apps); apps > 0 {
+		out.AllocsPerApp = int64(after.Mallocs-before.Mallocs) / apps
+		out.AllocBytesPerApp = int64(after.TotalAlloc-before.TotalAlloc) / apps
+	}
+	for st, n := range res.RunStats.StatusCounts {
+		out.Statuses[string(st)] = n
+	}
+	for name, q := range res.RunStats.StageQuantiles {
+		out.Stages = append(out.Stages, StageResult{
+			Name:  name,
+			Count: q.Count,
+			P50NS: q.P50.Nanoseconds(),
+			P95NS: q.P95.Nanoseconds(),
+			P99NS: q.P99.Nanoseconds(),
+		})
+	}
+	sort.Slice(out.Stages, func(i, j int) bool { return out.Stages[i].Name < out.Stages[j].Name })
+	return out, nil
+}
+
+// Table renders the result as an aligned human-readable report.
+func (r *Result) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("bench %s (schema %d): seed=%d scale=%v workers=%d cores=%d",
+			r.Name, r.Schema, r.Seed, r.Scale, r.Workers, r.Cores),
+		"metric", "value")
+	t.Row("apps", r.Apps)
+	t.Row("elapsed", time.Duration(r.ElapsedNS).Round(time.Millisecond).String())
+	t.Row("apps/sec", r.AppsPerSec)
+	t.Row("apps/sec/core", r.AppsPerSecPerCore)
+	t.Row("allocs/app", int(r.AllocsPerApp))
+	t.Row("alloc bytes/app", int(r.AllocBytesPerApp))
+	out := t.String()
+
+	if len(r.Stages) > 0 {
+		st := stats.NewTable("stage latency (exact quantiles)", "stage", "count", "p50", "p95", "p99")
+		for _, s := range r.Stages {
+			st.Row(s.Name, s.Count,
+				time.Duration(s.P50NS).Round(time.Microsecond).String(),
+				time.Duration(s.P95NS).Round(time.Microsecond).String(),
+				time.Duration(s.P99NS).Round(time.Microsecond).String())
+		}
+		out += "\n" + st.String()
+	}
+	return out
+}
+
+// Regression is one metric that moved beyond the threshold in the
+// unfavourable direction between two trajectory points.
+type Regression struct {
+	// Metric names the value, e.g. "apps_per_sec" or "stage.dynamic.p95".
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// DeltaPct is the signed percent change from Old to New.
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s: %.4g -> %.4g (%+.1f%%)", g.Metric, g.Old, g.New, g.DeltaPct)
+}
+
+// Diff compares two trajectory points and returns every metric that
+// regressed by more than thresholdPct percent (pass <= 0 for
+// DefaultRegressionPct). Direction matters: throughput metrics regress
+// when they fall, latency and allocation metrics regress when they
+// rise. Stages present in only one result are skipped — the comparator
+// flags movement, not corpus shape changes (Fingerprint covers those).
+func Diff(base, head *Result, thresholdPct float64) []Regression {
+	if thresholdPct <= 0 {
+		thresholdPct = DefaultRegressionPct
+	}
+	var out []Regression
+	// lowerIsBetter=false: regression when the metric falls.
+	check := func(metric string, oldV, newV float64, lowerIsBetter bool) {
+		if oldV == 0 {
+			return // no baseline to compare against
+		}
+		delta := (newV - oldV) / oldV * 100
+		bad := delta > thresholdPct
+		if !lowerIsBetter {
+			bad = delta < -thresholdPct
+		}
+		if bad {
+			out = append(out, Regression{Metric: metric, Old: oldV, New: newV, DeltaPct: delta})
+		}
+	}
+	check("apps_per_sec", base.AppsPerSec, head.AppsPerSec, false)
+	check("apps_per_sec_per_core", base.AppsPerSecPerCore, head.AppsPerSecPerCore, false)
+	check("allocs_per_app", float64(base.AllocsPerApp), float64(head.AllocsPerApp), true)
+	check("alloc_bytes_per_app", float64(base.AllocBytesPerApp), float64(head.AllocBytesPerApp), true)
+
+	oldStages := make(map[string]StageResult, len(base.Stages))
+	for _, s := range base.Stages {
+		oldStages[s.Name] = s
+	}
+	for _, s := range head.Stages {
+		o, ok := oldStages[s.Name]
+		if !ok {
+			continue
+		}
+		check("stage."+s.Name+".p50", float64(o.P50NS), float64(s.P50NS), true)
+		check("stage."+s.Name+".p95", float64(o.P95NS), float64(s.P95NS), true)
+		check("stage."+s.Name+".p99", float64(o.P99NS), float64(s.P99NS), true)
+	}
+	return out
+}
+
+// WriteFile serializes the result as indented JSON with a trailing
+// newline (diff-friendly for a committed artifact).
+func (r *Result) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a trajectory point, rejecting unknown schema versions
+// so the comparator never silently misreads an old layout.
+func ReadFile(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema > SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema %d, newer than supported %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Schema:            SchemaVersion,
+		Name:              "sample",
+		Seed:              2016,
+		Scale:             0.02,
+		Workers:           4,
+		Cores:             8,
+		Apps:              1183,
+		Statuses:          map[string]int{"exercised": 909, "no-dcl": 254},
+		ElapsedNS:         689411240,
+		AppsPerSec:        1715.95,
+		AppsPerSecPerCore: 214.49,
+		AllocsPerApp:      1602,
+		AllocBytesPerApp:  264448,
+		Stages: []StageResult{
+			{Name: "dynamic", Count: 916, P50NS: 216000, P95NS: 1022000, P99NS: 1342000},
+			{Name: "unpack", Count: 1183, P50NS: 58000, P95NS: 220000, P99NS: 292000},
+		},
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	want := sampleResult()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := want.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadFileRejectsNewerSchema(t *testing.T) {
+	r := sampleResult()
+	r.Schema = SchemaVersion + 1
+	path := filepath.Join(t.TempDir(), "BENCH_future.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("ReadFile accepted a result with a newer schema version")
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	base := sampleResult()
+	head := sampleResult()
+	// Throughput down 50%, dynamic p95 up 2x, allocs up 2x: all regressions.
+	head.AppsPerSec = base.AppsPerSec / 2
+	head.AllocsPerApp = base.AllocsPerApp * 2
+	head.Stages[0].P95NS = base.Stages[0].P95NS * 2
+
+	regs := Diff(base, head, 15)
+	got := make(map[string]bool, len(regs))
+	for _, g := range regs {
+		got[g.Metric] = true
+	}
+	for _, want := range []string{"apps_per_sec", "allocs_per_app", "stage.dynamic.p95"} {
+		if !got[want] {
+			t.Errorf("Diff missed regression %q (got %v)", want, regs)
+		}
+	}
+	// Unchanged metrics must not be flagged.
+	for _, never := range []string{"stage.unpack.p95", "stage.dynamic.p50", "alloc_bytes_per_app"} {
+		if got[never] {
+			t.Errorf("Diff flagged unchanged metric %q", never)
+		}
+	}
+}
+
+func TestDiffDirectionAware(t *testing.T) {
+	base := sampleResult()
+	head := sampleResult()
+	// Improvements in both directions: throughput up, latency and allocs
+	// down. None may be flagged.
+	head.AppsPerSec = base.AppsPerSec * 2
+	head.AllocsPerApp = base.AllocsPerApp / 2
+	head.Stages[0].P95NS = base.Stages[0].P95NS / 2
+	if regs := Diff(base, head, 15); len(regs) != 0 {
+		t.Errorf("Diff flagged improvements as regressions: %v", regs)
+	}
+}
+
+func TestDiffRespectsThreshold(t *testing.T) {
+	base := sampleResult()
+	head := sampleResult()
+	head.AppsPerSec = base.AppsPerSec * 0.90 // -10%
+	if regs := Diff(base, head, 15); len(regs) != 0 {
+		t.Errorf("-10%% flagged under a 15%% threshold: %v", regs)
+	}
+	if regs := Diff(base, head, 5); len(regs) != 1 {
+		t.Errorf("-10%% not flagged under a 5%% threshold: %v", regs)
+	}
+}
+
+func TestDiffSkipsUnmatchedStages(t *testing.T) {
+	base := sampleResult()
+	head := sampleResult()
+	head.Stages = append(head.Stages, StageResult{Name: "brand-new", Count: 1, P95NS: 1 << 40})
+	if regs := Diff(base, head, 15); len(regs) != 0 {
+		t.Errorf("Diff flagged a stage absent from the baseline: %v", regs)
+	}
+}
+
+// TestRunDeterministicFingerprint runs the harness twice at smoke scale:
+// everything except wall-clock timing must be identical for a fixed seed.
+func TestRunDeterministicFingerprint(t *testing.T) {
+	cfg := Config{Name: "determinism", Seed: 2016, Scale: 0.002, Workers: 4}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !reflect.DeepEqual(a.Fingerprint(), b.Fingerprint()) {
+		t.Errorf("fingerprints differ for identical config:\n first %+v\nsecond %+v",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Apps == 0 || len(a.Stages) == 0 {
+		t.Errorf("smoke run produced an empty result: %+v", a)
+	}
+}

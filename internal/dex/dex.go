@@ -224,7 +224,8 @@ func (f *File) Strings() []string {
 	var out []string
 	for _, c := range f.Classes {
 		for _, m := range c.Methods {
-			for _, in := range m.Code {
+			for i := range m.Code {
+				in := &m.Code[i]
 				if in.Op == OpConstString && !seen[in.Str] {
 					seen[in.Str] = true
 					out = append(out, in.Str)
@@ -242,7 +243,8 @@ func (f *File) InvokedRefs() []MethodRef {
 	var out []MethodRef
 	for _, c := range f.Classes {
 		for _, m := range c.Methods {
-			for _, in := range m.Code {
+			for i := range m.Code {
+				in := &m.Code[i]
 				if in.Op.IsInvoke() && !seen[in.Method] {
 					seen[in.Method] = true
 					out = append(out, in.Method)
@@ -257,6 +259,9 @@ func (f *File) InvokedRefs() []MethodRef {
 // register indices within the declared register count, and non-empty
 // names. It returns the first problem found.
 func (f *File) Validate() error {
+	// One scratch slice and pointer-indexed loops: Validate runs on every
+	// Encode and Decode, so it must not copy or allocate per instruction.
+	var scratch []int
 	for _, c := range f.Classes {
 		if c.Name == "" {
 			return fmt.Errorf("dex: class with empty name")
@@ -265,14 +270,16 @@ func (f *File) Validate() error {
 			if m.Name == "" {
 				return fmt.Errorf("dex: %s: method with empty name", c.Name)
 			}
-			for pc, in := range m.Code {
+			for pc := range m.Code {
+				in := &m.Code[pc]
 				if in.Op.IsBranch() {
 					if in.Target < 0 || in.Target >= len(m.Code) {
 						return fmt.Errorf("dex: %s.%s: pc %d: branch target %d out of range [0,%d)",
 							c.Name, m.Name, pc, in.Target, len(m.Code))
 					}
 				}
-				for _, r := range in.registersUsed() {
+				scratch = in.appendRegistersUsed(scratch[:0])
+				for _, r := range scratch {
 					if r < 0 || r >= m.Registers {
 						return fmt.Errorf("dex: %s.%s: pc %d: register v%d out of range [0,%d)",
 							c.Name, m.Name, pc, r, m.Registers)

@@ -71,8 +71,8 @@ func encode(f *File, magic string) ([]byte, error) {
 				w.uvarint(uint64(pool.id(p)))
 			}
 			w.uvarint(uint64(len(m.Code)))
-			for _, in := range m.Code {
-				encodeInstr(w, pool, in)
+			for i := range m.Code {
+				encodeInstr(w, pool, &m.Code[i])
 			}
 		}
 	}
@@ -89,7 +89,7 @@ func encode(f *File, magic string) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-func encodeInstr(w *writer, pool *stringPool, in Instruction) {
+func encodeInstr(w *writer, pool *stringPool, in *Instruction) {
 	w.byte(byte(in.Op))
 	switch in.Op {
 	case OpNop, OpReturnVoid:
@@ -183,7 +183,11 @@ func decode(data []byte) (*File, bool, error) {
 		return nil, false, fmt.Errorf("dex: checksum mismatch: got %08x want %08x", got, wantCRC)
 	}
 
-	r := &reader{data: body}
+	// One string conversion covers the whole body: every pool entry is a
+	// zero-copy substring of it, replacing the per-string copies that
+	// used to dominate decode allocations. The substrings share the one
+	// backing allocation for as long as the File lives.
+	r := &reader{data: body, text: string(body)}
 	nStrings := r.count()
 	pool := make([]string, 0, min(nStrings, 4096))
 	for i := 0; i < nStrings && r.err == nil; i++ {
@@ -346,7 +350,8 @@ func poolFile(p *stringPool, f *File) {
 			for _, prm := range m.Params {
 				p.id(prm)
 			}
-			for _, in := range m.Code {
+			for i := range m.Code {
+				in := &m.Code[i]
 				switch {
 				case in.Op == OpConstString || in.Op == OpNewInstance ||
 					in.Op == OpCheckCast || in.Op == OpNewArray || in.Op == OpInstanceOf:
@@ -388,9 +393,12 @@ func (w *writer) str(s string) {
 	w.buf.WriteString(s)
 }
 
-// reader consumes the body section, remembering the first error.
+// reader consumes the body section, remembering the first error. text
+// mirrors data as an immutable string so str() can hand out zero-copy
+// substrings instead of converting (and copying) each one.
 type reader struct {
 	data []byte
+	text string
 	pos  int
 	err  error
 }
@@ -469,7 +477,7 @@ func (r *reader) str() string {
 		r.fail(fmt.Errorf("dex: truncated string at offset %d", r.pos))
 		return ""
 	}
-	s := string(r.data[r.pos : r.pos+n])
+	s := r.text[r.pos : r.pos+n]
 	r.pos += n
 	return s
 }

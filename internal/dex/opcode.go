@@ -176,24 +176,27 @@ type Instruction struct {
 	Args   []int     // invoke argument registers
 }
 
-// registersUsed returns the registers referenced by the instruction, used
-// by Validate.
-func (in Instruction) registersUsed() []int {
+// appendRegistersUsed appends the registers referenced by the
+// instruction to buf and returns it. The append-into-buffer shape lets
+// Validate reuse one scratch slice across an entire file instead of
+// allocating per instruction (formerly the single largest allocation
+// site in Encode/Decode).
+func (in *Instruction) appendRegistersUsed(buf []int) []int {
 	switch in.Op {
 	case OpNop, OpGoto, OpReturnVoid:
-		return nil
+		return buf
 	case OpConst, OpConstString, OpMoveResult, OpNewInstance, OpSGet, OpSPut,
 		OpIfEqz, OpIfNez, OpReturn, OpThrow, OpCheckCast:
-		return []int{in.A}
+		return append(buf, in.A)
 	case OpMove, OpNewArray, OpIGet, OpIPut, OpIfEq, OpIfNe, OpIfLt, OpIfGe,
 		OpArrayLength, OpInstanceOf:
-		return []int{in.A, in.B}
+		return append(buf, in.A, in.B)
 	case OpAdd, OpSub, OpMul, OpDiv, OpXor, OpArrayGet, OpArrayPut:
-		return []int{in.A, in.B, in.C}
+		return append(buf, in.A, in.B, in.C)
 	default:
 		if in.Op.IsInvoke() {
-			return in.Args
+			return append(buf, in.Args...)
 		}
-		return nil
+		return buf
 	}
 }

@@ -55,33 +55,46 @@ func (c *traceCollector) add(pkg string, t *trace.Trace) {
 }
 
 // stats returns the exact per-stage quantiles and the kept slow traces.
+// It sorts copies of the collected distributions: the live slices keep
+// their append order, so interleaved add calls and repeated stats calls
+// never observe (or build on) a half-sorted prefix.
 func (c *traceCollector) stats() (map[string]Quantiles, []SlowApp) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[string]Quantiles, len(c.durs))
 	for name, durs := range c.durs {
-		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		sorted := append([]time.Duration(nil), durs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		out[name] = Quantiles{
-			Count: len(durs),
-			P50:   quantileExact(durs, 0.50),
-			P95:   quantileExact(durs, 0.95),
-			P99:   quantileExact(durs, 0.99),
+			Count: len(sorted),
+			P50:   quantileExact(sorted, 0.50),
+			P95:   quantileExact(sorted, 0.95),
+			P99:   quantileExact(sorted, 0.99),
 		}
 	}
 	return out, append([]SlowApp(nil), c.slowest...)
 }
 
-// quantileExact is the nearest-rank order statistic over sorted durs.
+// quantileScale expresses quantiles as parts-per-million so the
+// nearest-rank computation stays in integer arithmetic.
+const quantileScale = 1_000_000
+
+// quantileExact is the nearest-rank order statistic over sorted durs:
+// rank = ceil(q·n), computed with integer ceiling math so boundary counts
+// (q·n exactly integral) rank exactly instead of through a float-epsilon
+// ceiling.
 func quantileExact(durs []time.Duration, q float64) time.Duration {
-	if len(durs) == 0 {
+	n := int64(len(durs))
+	if n == 0 {
 		return 0
 	}
-	rank := int(q*float64(len(durs)) + 0.9999999)
+	ppm := int64(q*quantileScale + 0.5) // exact for quantiles with <= 6 decimals
+	rank := (n*ppm + quantileScale - 1) / quantileScale
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(durs) {
-		rank = len(durs)
+	if rank > n {
+		rank = n
 	}
 	return durs[rank-1]
 }

@@ -134,3 +134,85 @@ func TestQuantileExact(t *testing.T) {
 		t.Fatalf("quantileExact(nil) = %d, want 0", got)
 	}
 }
+
+// TestQuantileExactBoundaries pins the integer-ceiling ranks at the
+// counts the float-epsilon implementation was prone to misrank: n where
+// q·n is exactly integral, n=1, and large n.
+func TestQuantileExactBoundaries(t *testing.T) {
+	seq := func(n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = time.Duration(i + 1) // sorted: value == rank
+		}
+		return out
+	}
+	cases := []struct {
+		n    int
+		q    float64
+		want time.Duration // == ceil(q·n)
+	}{
+		// q·n exactly integral: nearest-rank must land on rank q·n, not q·n+1.
+		{100, 0.95, 95},
+		{100, 0.50, 50},
+		{200, 0.99, 198},
+		{20, 0.95, 19},
+		{4, 0.25, 1},
+		{10, 0.10, 1},
+		// n=1: every quantile is the single observation.
+		{1, 0.50, 1},
+		{1, 0.95, 1},
+		{1, 0.99, 1},
+		// Non-integral q·n rounds up.
+		{3, 0.50, 2},  // ceil(1.5)
+		{7, 0.29, 3},  // ceil(2.03)
+		{10, 0.95, 10}, // ceil(9.5)
+		// Large n at an exactly-integral boundary.
+		{1_000_000, 0.95, 950_000},
+		{1_000_000, 0.99, 990_000},
+		{9_999_999, 0.50, 5_000_000}, // ceil(4999999.5)
+	}
+	for _, c := range cases {
+		if got := quantileExact(seq(c.n), c.q); got != c.want {
+			t.Fatalf("quantileExact(n=%d, q=%v) = rank %d, want rank %d", c.n, c.q, got, c.want)
+		}
+	}
+}
+
+// TestStatsDoesNotMutateCollector: stats() is a getter — it must sort a
+// copy, so the live distributions keep append order and interleaved
+// add/stats sequences yield the same quantiles as a single batch.
+func TestStatsDoesNotMutateCollector(t *testing.T) {
+	base := time.Unix(0, 0)
+	mk := func(d time.Duration) *trace.Trace {
+		return &trace.Trace{ID: "t", Root: &trace.Span{Name: "app", StartAt: base, EndAt: base.Add(d)}}
+	}
+	c := newTraceCollector(0)
+	// Descending insert order so an in-place sort is detectable.
+	for _, d := range []time.Duration{50, 40, 30} {
+		c.add("pkg", mk(d))
+	}
+	q1, _ := c.stats()
+	if q1["app"].P50 != 40 {
+		t.Fatalf("first stats p50 = %d, want 40", q1["app"].P50)
+	}
+	if got := c.durs["app"]; got[0] != 50 || got[1] != 40 || got[2] != 30 {
+		t.Fatalf("stats() mutated the live distribution: %v", got)
+	}
+	// Interleaved adds after a stats call must still rank globally.
+	for _, d := range []time.Duration{20, 10} {
+		c.add("pkg", mk(d))
+	}
+	q2, _ := c.stats()
+	if q2["app"].Count != 5 || q2["app"].P50 != 30 || q2["app"].P99 != 50 {
+		t.Fatalf("second stats = %+v, want count 5, p50 30, p99 50", q2["app"])
+	}
+	// A fresh collector fed the same values in one batch agrees exactly.
+	batch := newTraceCollector(0)
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		batch.add("pkg", mk(d))
+	}
+	qb, _ := batch.stats()
+	if qb["app"] != q2["app"] {
+		t.Fatalf("interleaved stats %+v != batch stats %+v", q2["app"], qb["app"])
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -315,9 +316,36 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Unlock()
 		s.reg.Add("service.scan.rejected", 1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		httpError(w, http.StatusTooManyRequests, "submission queue is full")
 	}
+}
+
+// Retry-After bounds: at least 1s (the HTTP-friendly minimum), at most
+// 5 minutes so a momentary latency spike cannot park clients for hours.
+const (
+	minRetryAfter = 1
+	maxRetryAfter = 300
+)
+
+// retryAfterSeconds sizes the 429 backoff to the actual backlog: the
+// time for the worker pool to drain the current queue, estimated as
+// queue length × recent mean analyze latency ÷ workers. With no latency
+// history yet (or no metrics registry) it falls back to 1s.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.reg.HistSnapshot("service.job").Mean
+	if mean <= 0 {
+		return minRetryAfter
+	}
+	backlog := time.Duration(len(s.jobs)) * mean / time.Duration(s.cfg.Workers)
+	secs := int((backlog + time.Second - 1) / time.Second) // ceiling
+	if secs < minRetryAfter {
+		return minRetryAfter
+	}
+	if secs > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return secs
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {

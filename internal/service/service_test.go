@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -305,6 +306,56 @@ func TestQueueFullRejectsWith429(t *testing.T) {
 	}
 	if got := reg.Counter("service.scan.rejected"); got != 1 {
 		t.Fatalf("service.scan.rejected = %d", got)
+	}
+}
+
+// TestRetryAfterScalesWithBacklog: the 429 backoff derives from queue
+// length × recent mean analyze latency ÷ workers, instead of a
+// hard-coded 1s regardless of how deep the backlog actually is.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	started := make(chan string, 8)
+	unblock := make(chan struct{})
+	reg := metrics.New()
+	// Recent history: analyses take 4s on average.
+	for i := 0; i < 8; i++ {
+		reg.Observe("service.job", 4*time.Second)
+	}
+	_, ts := newStubServer(t, Config{Workers: 2, QueueDepth: 4, Metrics: reg},
+		func(digest string, data []byte) (*Record, error) {
+			started <- digest
+			<-unblock
+			return &Record{Digest: digest, Status: "exercised"}, nil
+		})
+	defer close(unblock)
+
+	// Two jobs occupy the workers (both observed blocked in analyze), four
+	// more fill the queue, so the rejected seventh sees a full queue.
+	for i := 0; i < 6; i++ {
+		resp, body := postScan(t, ts, tinyAPK(t, fmt.Sprintf("com.backlog.app%d", i)))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("scan %d: %d %s", i, resp.StatusCode, body)
+		}
+		if i == 1 {
+			for w := 0; w < 2; w++ {
+				select {
+				case <-started:
+				case <-time.After(10 * time.Second):
+					t.Fatal("workers never started")
+				}
+			}
+		}
+	}
+	resp, body := postScan(t, ts, tinyAPK(t, "com.backlog.rejected"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated scan: %d %s", resp.StatusCode, body)
+	}
+	// Full queue (4) × 4s mean ÷ 2 workers = 8s to drain.
+	got, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if got != 8 {
+		t.Fatalf("Retry-After = %d, want 8 (queue 4 × mean 4s / 2 workers)", got)
 	}
 }
 

@@ -3,11 +3,35 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/dydroid/dydroid/internal/android"
 	"github.com/dydroid/dydroid/internal/dex"
 	"github.com/dydroid/dydroid/internal/netsim"
 )
+
+// valuePool recycles Value slices for interpreter frames and invoke
+// argument vectors. interpret allocated one register file per call and
+// one argument slice per invoke, which dominated VM allocations under
+// the pipeline benchmark. Slices are cleared before reuse so pooled
+// frames neither leak stale register contents nor retain Object/Array
+// pointers past the call that wrote them.
+var valuePool = sync.Pool{New: func() any { return new([]Value) }}
+
+func getValues(n int) *[]Value {
+	p := valuePool.Get().(*[]Value)
+	if cap(*p) < n {
+		*p = make([]Value, n)
+	}
+	*p = (*p)[:n]
+	clear(*p)
+	return p
+}
+
+func putValues(p *[]Value) {
+	clear(*p)
+	valuePool.Put(p)
+}
 
 // VM errors. App-level failures (crashes) wrap ErrAppCrash so the
 // pipeline can classify them into Table II's Crash row.
@@ -195,7 +219,9 @@ func (m *VM) interpret(cls *dex.Class, method *dex.Method, args []Value) (Value,
 	m.frames = append(m.frames, StackElement{Class: cls.Name, Method: method.Name})
 	defer func() { m.frames = m.frames[:len(m.frames)-1] }()
 
-	regs := make([]Value, method.Registers)
+	regsPtr := getValues(method.Registers)
+	defer putValues(regsPtr)
+	regs := *regsPtr
 	// Calling convention: arguments land in the first registers.
 	for i, a := range args {
 		if i < len(regs) {
@@ -207,7 +233,7 @@ func (m *VM) interpret(cls *dex.Class, method *dex.Method, args []Value) (Value,
 		if m.steps++; m.steps > m.StepBudget {
 			return Null, fmt.Errorf("%w in %s.%s", ErrBudget, cls.Name, method.Name)
 		}
-		in := method.Code[pc]
+		in := &method.Code[pc]
 		switch in.Op {
 		case dex.OpNop:
 		case dex.OpConst:
@@ -322,7 +348,11 @@ func (m *VM) interpret(cls *dex.Class, method *dex.Method, args []Value) (Value,
 			}
 		default:
 			if in.Op.IsInvoke() {
-				callArgs := make([]Value, len(in.Args))
+				// Callees copy arguments into their own registers and no
+				// system handler retains the slice, so it can go back to
+				// the pool as soon as the call returns.
+				argsPtr := getValues(len(in.Args))
+				callArgs := *argsPtr
 				for i, r := range in.Args {
 					callArgs[i] = regs[r]
 				}
@@ -331,6 +361,7 @@ func (m *VM) interpret(cls *dex.Class, method *dex.Method, args []Value) (Value,
 					dyn = callArgs[0].Ref.Class
 				}
 				res, err := m.invoke(dyn, in.Method, callArgs)
+				putValues(argsPtr)
 				if err != nil {
 					return Null, err
 				}
