@@ -129,9 +129,9 @@ func run(w io.Writer, path, smali, lib string, fixed bool) error {
 	}
 	switch {
 	case smali != "":
-		src, ok := u.Smali[smali]
+		src, ok := u.Smali()[smali]
 		if !ok {
-			return fmt.Errorf("no class %s (have %d classes)", smali, len(u.Smali))
+			return fmt.Errorf("no class %s (have %d classes)", smali, len(u.Smali()))
 		}
 		fmt.Fprint(w, src)
 		return nil
@@ -160,7 +160,7 @@ func run(w io.Writer, path, smali, lib string, fixed bool) error {
 		fmt.Fprintf(w, "component:  %-9s %s\n", c.Kind, c.Name)
 	}
 	var classes []string
-	for name := range u.Smali {
+	for name := range u.Smali() {
 		classes = append(classes, name)
 	}
 	sort.Strings(classes)

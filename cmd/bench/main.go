@@ -1,15 +1,19 @@
 // Command bench runs the recorded-trajectory benchmark harness and
 // compares trajectory points.
 //
-//	bench run  [-name NAME] [-seed N] [-scale F] [-workers N] [-out FILE]
-//	bench diff [-threshold PCT] OLD.json NEW.json
+//	bench run  [-name NAME] [-seed N] [-scale F] [-workers N] [-stream=BOOL] [-out FILE]
+//	bench diff [-threshold PCT] [-fail-fold N] OLD.json NEW.json
 //
 // `bench run` executes the measurement pipeline over a fixed-seed corpus
-// and prints a human-readable table; with -out it also writes the
-// schema-versioned JSON trajectory point (the committed BENCH_<n>.json
-// files at the repo root). `bench diff` loads two trajectory points and
-// reports every metric that regressed beyond the threshold; it exits 1
-// when regressions are found so CI can branch on it.
+// and prints a human-readable table. With -out it writes the
+// schema-versioned JSON trajectory point to that file; without -out it
+// records the next committed point — it auto-numbers BENCH_<n>.json in
+// the current directory and prints the headline-metric diff against the
+// previous point. `bench diff` loads two trajectory points and reports
+// every metric that regressed beyond the threshold; it exits 1 when
+// regressions are found so CI can branch on it. With -fail-fold N the
+// threshold findings become warnings and only a headline metric
+// collapsing by N times or more (bench.FoldGate) fails the command.
 package main
 
 import (
@@ -39,8 +43,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  bench run  [-name NAME] [-seed N] [-scale F] [-workers N] [-out FILE]
-  bench diff [-threshold PCT] OLD.json NEW.json`)
+  bench run  [-name NAME] [-seed N] [-scale F] [-workers N] [-stream=BOOL] [-out FILE]
+  bench diff [-threshold PCT] [-fail-fold N] OLD.json NEW.json`)
 }
 
 func cmdRun(args []string) {
@@ -49,27 +53,45 @@ func cmdRun(args []string) {
 	seed := fs.Int64("seed", 2016, "corpus generation seed")
 	scale := fs.Float64("scale", 0.02, "marketplace scale (1.0 = 58,739 apps)")
 	workers := fs.Int("workers", 0, "pipeline parallelism (0 = GOMAXPROCS)")
-	out := fs.String("out", "", "write the JSON trajectory point to this file")
+	stream := fs.Bool("stream", true, "consume the corpus via the streaming producer")
+	out := fs.String("out", "", "write the JSON point here (default: auto-number BENCH_<n>.json and diff vs the previous point)")
 	fs.Parse(args)
 
-	res, err := bench.Run(bench.Config{Name: *name, Seed: *seed, Scale: *scale, Workers: *workers})
+	target, prev := *out, ""
+	if target == "" {
+		var err error
+		target, prev, err = bench.NextTrajectory(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	res, err := bench.Run(bench.Config{Name: *name, Seed: *seed, Scale: *scale, Workers: *workers, Stream: *stream})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Print(res.Table())
-	if *out != "" {
-		if err := res.WriteFile(*out); err != nil {
+	if err := res.WriteFile(target); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", target)
+	if prev != "" {
+		base, err := bench.ReadFile(prev)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nwrote %s\n", *out)
+		fmt.Printf("\nvs %s:\n%s", prev, bench.Compare(base, res))
 	}
 }
 
 func cmdDiff(args []string) {
 	fs := flag.NewFlagSet("bench diff", flag.ExitOnError)
 	threshold := fs.Float64("threshold", bench.DefaultRegressionPct, "regression threshold in percent")
+	failFold := fs.Float64("fail-fold", 0, "fail only on headline metrics regressing by this factor or more (0 = fail on any threshold regression)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		usage()
@@ -85,14 +107,30 @@ func cmdDiff(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	fmt.Print(bench.Compare(base, head))
 	regs := bench.Diff(base, head, *threshold)
 	if len(regs) == 0 {
 		fmt.Printf("no regressions beyond %.1f%% (%s -> %s)\n", *threshold, fs.Arg(0), fs.Arg(1))
+	} else {
+		fmt.Printf("%d regression(s) beyond %.1f%% (%s -> %s):\n", len(regs), *threshold, fs.Arg(0), fs.Arg(1))
+		for _, g := range regs {
+			fmt.Printf("  %s\n", g)
+		}
+	}
+	if *failFold > 0 {
+		// Threshold findings above were informational; only a fold-scale
+		// collapse in a headline metric blocks.
+		gated := bench.FoldGate(base, head, *failFold)
+		if len(gated) > 0 {
+			fmt.Printf("%d headline metric(s) regressed %.3gx or worse:\n", len(gated), *failFold)
+			for _, g := range gated {
+				fmt.Printf("  %s\n", g)
+			}
+			os.Exit(1)
+		}
 		return
 	}
-	fmt.Printf("%d regression(s) beyond %.1f%% (%s -> %s):\n", len(regs), *threshold, fs.Arg(0), fs.Arg(1))
-	for _, g := range regs {
-		fmt.Printf("  %s\n", g)
+	if len(regs) > 0 {
+		os.Exit(1)
 	}
-	os.Exit(1)
 }

@@ -39,9 +39,10 @@ func main() {
 	failFast := flag.Bool("failfast", false, "abort on the first per-app failure instead of recording it and continuing")
 	warmDir := flag.String("warm", "", "warm-start result store directory (re-runs skip already-analyzed apps)")
 	traceDir := flag.String("trace", "", "write traces.jsonl, runstats.json and fleet.json to this directory")
+	stream := flag.Bool("stream", true, "stream the corpus into the workers instead of materializing it (results are identical either way)")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers, TraceDir: *traceDir}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers, TraceDir: *traceDir, Stream: *stream}
 	if *failFast {
 		cfg.OnFailure = experiments.FailFast
 	}

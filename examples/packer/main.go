@@ -54,7 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for name := range u.Smali {
+	for name := range u.Smali() {
 		fmt.Printf("  shipped class: %s\n", name)
 	}
 	fmt.Printf("  original MainActivity visible: %v\n", u.Dex.FindClass(app.Manifest.Package+".MainActivity") != nil)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/dex"
 )
 
 // InstalledApp is one installed package.
@@ -14,6 +15,10 @@ type InstalledApp struct {
 	APK     *apk.APK
 	DataDir string // /data/data/<pkg>/
 	APKPath string // /data/app/<pkg>.apk
+	// Decoded, when non-nil, is the pre-decoded form of APK.Dex supplied
+	// by the installer's caller (the dexopt analogue): the VM boots from
+	// it instead of decoding the bytecode again. It must match APK.Dex.
+	Decoded *dex.File
 }
 
 // HasExternalWrite reports whether the app declares
@@ -38,6 +43,14 @@ func newPackageManager(dev *Device) *PackageManager {
 // private lib directory (as the real installer does), which is where
 // loadLibrary() finds them.
 func (pm *PackageManager) Install(a *apk.APK) (*InstalledApp, error) {
+	return pm.InstallArchive(a, nil)
+}
+
+// InstallArchive is Install for callers that already hold the serialized
+// form of a (the `adb install file.apk` analogue): the provided archive
+// is stored under /data/app/ verbatim instead of re-encoding the package.
+// archive must be the serialization of a; nil falls back to building it.
+func (pm *PackageManager) InstallArchive(a *apk.APK, archive []byte) (*InstalledApp, error) {
 	if err := a.Manifest.Validate(); err != nil {
 		return nil, fmt.Errorf("android: install: %w", err)
 	}
@@ -55,9 +68,13 @@ func (pm *PackageManager) Install(a *apk.APK) (*InstalledApp, error) {
 		DataDir: InternalDir(pkg),
 		APKPath: AppRoot + pkg + ".apk",
 	}
-	apkBytes, err := apk.Build(a)
-	if err != nil {
-		return nil, fmt.Errorf("android: install %s: %w", pkg, err)
+	apkBytes := archive
+	if apkBytes == nil {
+		var err error
+		apkBytes, err = apk.Build(a)
+		if err != nil {
+			return nil, fmt.Errorf("android: install %s: %w", pkg, err)
+		}
 	}
 	st := pm.dev.Storage
 	if err := st.WriteFile(app.APKPath, apkBytes, SystemOwner, false); err != nil {

@@ -9,6 +9,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Well-known entry names and prefixes inside the archive.
@@ -80,8 +82,14 @@ func Build(a *APK) ([]byte, error) {
 	}
 	sort.Strings(names)
 
-	var buf bytes.Buffer
-	zw := zip.NewWriter(&buf)
+	// The archive is assembled in a pooled scratch buffer: the zip layer
+	// writes through it freely and only the exact-size result escapes,
+	// so steady-state builds stop re-growing a fresh bytes.Buffer per
+	// archive (Build dominates the pipeline's allocation profile).
+	buf := scratchPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer scratchPool.Put(buf)
+	zw := zip.NewWriter(buf)
 	for _, name := range names {
 		// Store entries uncompressed: the corpus payloads (SDEX, SELF,
 		// packed assets) are synthetic and small, and flate accounted for
@@ -99,8 +107,15 @@ func Build(a *APK) ([]byte, error) {
 	if err := zw.Close(); err != nil {
 		return nil, fmt.Errorf("apk: build: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
+
+// scratchPool recycles the serialization buffers behind Build and
+// signatureManifest. Buffers grow to the largest archive they have seen
+// and stay warm across the run.
+var scratchPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // signatureManifest renders a JAR-manifest-style digest list over every
 // entry (excluding itself).
@@ -110,17 +125,37 @@ func signatureManifest(entries map[string][]byte) []byte {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var b strings.Builder
+	b := scratchPool.Get().(*bytes.Buffer)
+	b.Reset()
+	defer scratchPool.Put(b)
 	b.WriteString("Manifest-Version: 1.0\nCreated-By: dydroid-sim\n\n")
+	var hexSum [sha256.Size * 2]byte
 	for _, name := range names {
 		sum := sha256.Sum256(entries[name])
-		fmt.Fprintf(&b, "Name: %s\nSHA-256-Digest: %s\n\n", name, hex.EncodeToString(sum[:]))
+		hex.Encode(hexSum[:], sum[:])
+		b.WriteString("Name: ")
+		b.WriteString(name)
+		b.WriteString("\nSHA-256-Digest: ")
+		b.Write(hexSum[:])
+		b.WriteString("\n\n")
 	}
-	return []byte(b.String())
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	return out
 }
+
+// parseCalls counts Parse invocations since process start. The
+// single-parse pipeline promises exactly one Parse per analyzed app; the
+// regression test in internal/experiments asserts that promise against
+// this counter so redundant round-trips cannot silently return.
+var parseCalls atomic.Int64
+
+// ParseCalls returns the number of Parse invocations so far (test hook).
+func ParseCalls() int64 { return parseCalls.Load() }
 
 // Parse reads an APK archive back into its object form.
 func Parse(data []byte) (*APK, error) {
+	parseCalls.Add(1)
 	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		return nil, fmt.Errorf("apk: parse: %w", err)
@@ -179,7 +214,8 @@ func readEntry(f *zip.File) ([]byte, error) {
 	if _, err := io.ReadFull(rc, content); err != nil {
 		return nil, fmt.Errorf("apk: read %s: %w", f.Name, err)
 	}
-	if n, _ := rc.Read(make([]byte, 1)); n > 0 {
+	var probe [1]byte
+	if n, _ := rc.Read(probe[:]); n > 0 {
 		return nil, fmt.Errorf("apk: entry %s larger than declared size", f.Name)
 	}
 	return content, nil

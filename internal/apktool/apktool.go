@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"unicode"
 
 	"github.com/dydroid/dydroid/internal/apk"
@@ -59,17 +60,41 @@ type Unpacked struct {
 	APK *apk.APK
 	// Dex is the decoded bytecode, nil when the app ships none.
 	Dex *dex.File
-	// Smali maps class names to their smali IR text.
-	Smali map[string]string
+
+	smaliOnce sync.Once
+	smali     map[string]string
 }
 
-// Unpack parses the archive and decompiles its bytecode to smali.
+// Smali returns the per-class smali IR text, disassembling on first use.
+// The measurement pipeline only needs the decoded bytecode, so the
+// (string-heavy) disassembly is deferred until a caller — apkinspect, the
+// examples — actually asks for source.
+func (u *Unpacked) Smali() map[string]string {
+	u.smaliOnce.Do(func() {
+		if u.Dex == nil {
+			u.smali = make(map[string]string)
+			return
+		}
+		u.smali = dex.Disassemble(u.Dex)
+	})
+	return u.smali
+}
+
+// Unpack parses the archive and decompiles its bytecode. Smali text is
+// produced lazily via Unpacked.Smali.
 func (t Tool) Unpack(data []byte) (*Unpacked, error) {
 	a, err := apk.Parse(data)
 	if err != nil {
 		return nil, fmt.Errorf("apktool: unpack: %w", err)
 	}
-	u := &Unpacked{APK: a, Smali: make(map[string]string)}
+	return t.UnpackParsed(a)
+}
+
+// UnpackParsed decompiles an already-parsed archive, sharing the parsed
+// object (no copy): the single-parse pipeline hands the same *apk.APK to
+// the rewrite and dynamic stages afterwards.
+func (t Tool) UnpackParsed(a *apk.APK) (*Unpacked, error) {
+	u := &Unpacked{APK: a}
 	if a.Dex == nil {
 		return u, nil
 	}
@@ -86,7 +111,6 @@ func (t Tool) Unpack(data []byte) (*Unpacked, error) {
 		}
 	}
 	u.Dex = df
-	u.Smali = dex.Disassemble(df)
 	return u, nil
 }
 
@@ -112,14 +136,27 @@ func (t Tool) Repack(data []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("apktool: repack: %w", err)
 	}
-	if a.HasAntiRepack() {
-		return nil, fmt.Errorf("%w: archive is protected against repackaging", ErrRepack)
+	cp, err := t.RepackParsed(a)
+	if err != nil {
+		return nil, err
 	}
-	cp := a.Clone()
-	cp.Manifest.AddPermission(apk.WriteExternalStorage)
 	out, err := apk.Build(cp)
 	if err != nil {
 		return nil, fmt.Errorf("apktool: repack: %w", err)
 	}
 	return out, nil
+}
+
+// RepackParsed is the parse-once rewrite path: it performs the same
+// anti-repackaging check and permission injection as Repack on an
+// already-parsed package, returning a rewritten deep copy without
+// serializing. Callers that need archive bytes (installers, digests)
+// apk.Build the result themselves — once, instead of per stage.
+func (t Tool) RepackParsed(a *apk.APK) (*apk.APK, error) {
+	if a.HasAntiRepack() {
+		return nil, fmt.Errorf("%w: archive is protected against repackaging", ErrRepack)
+	}
+	cp := a.Clone()
+	cp.Manifest.AddPermission(apk.WriteExternalStorage)
+	return cp, nil
 }

@@ -42,11 +42,11 @@ func TestUnpackProducesSmali(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Unpack: %v", err)
 	}
-	if len(u.Smali) != 2 {
-		t.Fatalf("smali classes = %d, want 2", len(u.Smali))
+	if len(u.Smali()) != 2 {
+		t.Fatalf("smali classes = %d, want 2", len(u.Smali()))
 	}
-	if !strings.Contains(u.Smali["com.test.Main"], ".class public Lcom/test/Main;") {
-		t.Fatalf("smali content wrong:\n%s", u.Smali["com.test.Main"])
+	if !strings.Contains(u.Smali()["com.test.Main"], ".class public Lcom/test/Main;") {
+		t.Fatalf("smali content wrong:\n%s", u.Smali()["com.test.Main"])
 	}
 	if u.Dex == nil || len(u.Dex.Classes) != 2 {
 		t.Fatal("decoded dex missing")
@@ -63,7 +63,7 @@ func TestUnpackNoDex(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Unpack: %v", err)
 	}
-	if u.Dex != nil || len(u.Smali) != 0 {
+	if u.Dex != nil || len(u.Smali()) != 0 {
 		t.Fatal("expected empty decompilation")
 	}
 }
@@ -78,7 +78,7 @@ func TestAntiDecompilationCrashesBuggyVersion(t *testing.T) {
 	if err != nil {
 		t.Fatalf("fixed version: %v", err)
 	}
-	if len(u.Smali) != 2 {
+	if len(u.Smali()) != 2 {
 		t.Fatal("fixed version lost classes")
 	}
 }

@@ -5,24 +5,29 @@
 // latency percentiles, and serializes everything as a schema-versioned
 // JSON document (BENCH_<n>.json at the repo root). Committed trajectory
 // files plus the Diff comparator give the repo a recorded performance
-// history: CI reruns the harness at smoke scale and warns when a stage
-// regresses beyond a threshold against the committed baseline.
+// history: CI reruns the harness at smoke scale, warns on drift beyond
+// the Diff threshold, and fails outright when FoldGate sees a headline
+// metric collapse by 2x or more against the committed baseline.
 //
-// Regenerate the committed trajectory with:
+// Record the next committed trajectory point (auto-numbered, diffed
+// against the previous one) with:
 //
-//	go run ./cmd/bench run -out BENCH_6.json
+//	go run ./cmd/bench run
 //
 // and compare two trajectories with:
 //
-//	go run ./cmd/bench diff BENCH_6.json NEW.json
+//	go run ./cmd/bench diff BENCH_6.json BENCH_7.json
 package bench
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/dydroid/dydroid/internal/experiments"
@@ -51,6 +56,11 @@ type Config struct {
 	Scale float64
 	// Workers is the pipeline parallelism (default GOMAXPROCS).
 	Workers int
+	// Stream selects the streaming corpus path (experiments.Config.Stream).
+	// The streamed and materialized runs are result-equivalent, so
+	// trajectory points taken either way share a fingerprint; the timing
+	// sections measure the path that was actually run.
+	Stream bool
 }
 
 // Result is one recorded benchmark trajectory point. All durations are
@@ -145,6 +155,7 @@ func Run(cfg Config) (*Result, error) {
 		Seed:    cfg.Seed,
 		Scale:   cfg.Scale,
 		Workers: workers,
+		Stream:  cfg.Stream,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
@@ -273,6 +284,94 @@ func Diff(base, head *Result, thresholdPct float64) []Regression {
 		check("stage."+s.Name+".p99", float64(o.P99NS), float64(s.P99NS), true)
 	}
 	return out
+}
+
+// headlineMetrics are the summary metrics FoldGate and Compare report
+// on, with their improvement direction.
+var headlineMetrics = []struct {
+	name          string
+	lowerIsBetter bool
+	get           func(*Result) float64
+}{
+	{"apps_per_sec", false, func(r *Result) float64 { return r.AppsPerSec }},
+	{"apps_per_sec_per_core", false, func(r *Result) float64 { return r.AppsPerSecPerCore }},
+	{"allocs_per_app", true, func(r *Result) float64 { return float64(r.AllocsPerApp) }},
+	{"alloc_bytes_per_app", true, func(r *Result) float64 { return float64(r.AllocBytesPerApp) }},
+}
+
+// Compare renders the headline-metric deltas between two trajectory
+// points as an aligned table (informational; Diff and FoldGate decide
+// what counts as a regression).
+func Compare(base, head *Result) string {
+	t := stats.NewTable(
+		fmt.Sprintf("bench delta: %s -> %s", base.Name, head.Name),
+		"metric", "old", "new", "delta")
+	for _, m := range headlineMetrics {
+		oldV, newV := m.get(base), m.get(head)
+		delta := "n/a"
+		if oldV != 0 {
+			delta = fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+		}
+		t.Row(m.name, fmt.Sprintf("%.4g", oldV), fmt.Sprintf("%.4g", newV), delta)
+	}
+	return t.String()
+}
+
+// FoldGate flags headline metrics that regressed by at least fold times
+// between two points: throughput fails when it drops below base/fold,
+// allocation pressure when it rises above base*fold. A percent
+// threshold cannot express "2x worse" symmetrically (throughput halves
+// at -50%, allocations double at +100%), so the blocking CI gate is
+// fold-based and restricted to the headline metrics; sub-fold drift is
+// Diff's warn-only territory. fold <= 1 means every unfavourable move
+// fails; the conventional CI value is 2.
+func FoldGate(base, head *Result, fold float64) []Regression {
+	if fold < 1 {
+		fold = 1
+	}
+	var out []Regression
+	for _, m := range headlineMetrics {
+		oldV, newV := m.get(base), m.get(head)
+		if oldV == 0 {
+			continue // no baseline to compare against
+		}
+		bad := m.lowerIsBetter && newV >= oldV*fold ||
+			!m.lowerIsBetter && newV <= oldV/fold
+		if bad {
+			out = append(out, Regression{
+				Metric: m.name, Old: oldV, New: newV,
+				DeltaPct: (newV - oldV) / oldV * 100,
+			})
+		}
+	}
+	return out
+}
+
+// trajectoryRE matches committed trajectory file names.
+var trajectoryRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextTrajectory scans dir for committed BENCH_<n>.json points and
+// returns the path of the next point to record plus the path of the
+// latest existing one (empty when the trajectory is empty).
+func NextTrajectory(dir string) (next, prev string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", fmt.Errorf("bench: %w", err)
+	}
+	maxN := -1
+	for _, e := range entries {
+		m := trajectoryRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= maxN {
+			continue
+		}
+		maxN = n
+		prev = filepath.Join(dir, e.Name())
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", maxN+1)), prev, nil
 }
 
 // WriteFile serializes the result as indented JSON with a trailing

@@ -3,6 +3,7 @@ package bench
 import (
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -133,5 +134,86 @@ func TestRunDeterministicFingerprint(t *testing.T) {
 	}
 	if a.Apps == 0 || len(a.Stages) == 0 {
 		t.Errorf("smoke run produced an empty result: %+v", a)
+	}
+}
+
+// TestFoldGate: the blocking gate fires only on fold-scale collapses of
+// headline metrics, in the right direction for each.
+func TestFoldGate(t *testing.T) {
+	base := sampleResult()
+
+	// A 40% throughput drop and a 60% allocation rise are bad, but under
+	// 2x: warn-only territory.
+	drift := sampleResult()
+	drift.AppsPerSec = base.AppsPerSec * 0.6
+	drift.AppsPerSecPerCore = base.AppsPerSecPerCore * 0.6
+	drift.AllocsPerApp = base.AllocsPerApp * 16 / 10
+	if regs := FoldGate(base, drift, 2); len(regs) != 0 {
+		t.Errorf("FoldGate fired on sub-2x drift: %v", regs)
+	}
+
+	// Halved throughput and doubled allocations both cross the 2x gate.
+	collapse := sampleResult()
+	collapse.AppsPerSec = base.AppsPerSec / 2
+	collapse.AllocsPerApp = base.AllocsPerApp * 2
+	regs := FoldGate(base, collapse, 2)
+	names := map[string]bool{}
+	for _, g := range regs {
+		names[g.Metric] = true
+	}
+	if !names["apps_per_sec"] || !names["allocs_per_app"] {
+		t.Errorf("FoldGate missed a 2x collapse: %v", regs)
+	}
+	if names["alloc_bytes_per_app"] || names["apps_per_sec_per_core"] {
+		t.Errorf("FoldGate flagged unmoved metrics: %v", regs)
+	}
+
+	// Improvements never fire the gate, however large.
+	better := sampleResult()
+	better.AppsPerSec = base.AppsPerSec * 10
+	better.AllocsPerApp = base.AllocsPerApp / 10
+	if regs := FoldGate(base, better, 2); len(regs) != 0 {
+		t.Errorf("FoldGate flagged improvements: %v", regs)
+	}
+}
+
+// TestNextTrajectory: auto-numbering picks max+1 and reports the latest
+// existing point.
+func TestNextTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	next, prev, err := NextTrajectory(dir)
+	if err != nil {
+		t.Fatalf("NextTrajectory: %v", err)
+	}
+	if want := filepath.Join(dir, "BENCH_0.json"); next != want || prev != "" {
+		t.Fatalf("empty dir: next=%q prev=%q, want next=%q prev empty", next, prev, want)
+	}
+	for _, n := range []string{"BENCH_3.json", "BENCH_10.json", "BENCH_2.json", "bench-smoke.json", "BENCH_x.json"} {
+		if err := sampleResult().WriteFile(filepath.Join(dir, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next, prev, err = NextTrajectory(dir)
+	if err != nil {
+		t.Fatalf("NextTrajectory: %v", err)
+	}
+	if want := filepath.Join(dir, "BENCH_11.json"); next != want {
+		t.Errorf("next = %q, want %q", next, want)
+	}
+	if want := filepath.Join(dir, "BENCH_10.json"); prev != want {
+		t.Errorf("prev = %q, want %q", prev, want)
+	}
+}
+
+// TestCompare renders every headline metric with a signed delta.
+func TestCompare(t *testing.T) {
+	base := sampleResult()
+	head := sampleResult()
+	head.AppsPerSec = base.AppsPerSec * 2
+	out := Compare(base, head)
+	for _, want := range []string{"apps_per_sec", "allocs_per_app", "+100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Compare output missing %q:\n%s", want, out)
+		}
 	}
 }

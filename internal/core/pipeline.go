@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/dydroid/dydroid/internal/android"
@@ -138,12 +139,20 @@ func (a *Analyzer) analyzeAPK(ctx context.Context, apkBytes []byte) (*AppResult,
 		return res, nil
 	}
 
-	// Rewrite with the logging permission when missing.
-	runBytes := apkBytes
+	// From here on the archive is parsed exactly once (the Unpack above):
+	// the rewrite and dynamic stages consume the parsed package and the
+	// decoded bytecode directly, and replays reuse res.Prepared.
+	prep := &PreparedApp{APK: u.APK, Dex: u.Dex, raw: apkBytes}
+	res.Prepared = prep
+
+	// Rewrite with the logging permission when missing. RepackParsed
+	// mutates a deep copy of the already-parsed manifest; the rewritten
+	// archive is serialized lazily (once) when the installer needs bytes.
+	runPrep := prep
 	if !u.APK.Manifest.HasPermission(apk.WriteExternalStorage) {
 		_, sRewrite := trace.Start(ctx, "rewrite")
 		tRewrite := time.Now()
-		rewritten, err := a.opts.Tool.Repack(apkBytes)
+		rewritten, err := a.opts.Tool.RepackParsed(u.APK)
 		a.opts.Metrics.Observe("stage.rewrite", time.Since(tRewrite))
 		if err != nil {
 			if errors.Is(err, apktool.ErrRepack) {
@@ -156,18 +165,18 @@ func (a *Analyzer) analyzeAPK(ctx context.Context, apkBytes []byte) (*AppResult,
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		sRewrite.End()
-		runBytes = rewritten
+		runPrep = &PreparedApp{APK: rewritten, Dex: u.Dex}
 	}
 
 	// Dynamic phase, with one retry after cleaning external storage when
 	// the device runs out of space (automatic exception handling).
 	dctx, sDynamic := trace.Start(ctx, "dynamic")
 	tDynamic := time.Now()
-	run, err := a.runDynamic(dctx, runBytes, nil)
+	run, err := a.runDynamic(dctx, runPrep, nil)
 	if err != nil && isNoSpace(err) {
 		a.opts.Metrics.Add("dynamic.nospace-retries", 1)
 		sDynamic.SetAttr("nospace-retry", "true")
-		run, err = a.runDynamic(dctx, runBytes, func(dev *android.Device) {
+		run, err = a.runDynamic(dctx, runPrep, func(dev *android.Device) {
 			dev.Storage.RemovePrefix(LogRoot)
 		})
 	}
@@ -221,6 +230,55 @@ func isNoSpace(err error) bool {
 	return errors.Is(err, android.ErrNoSpace)
 }
 
+// PreparedApp is the parse-once state of one application archive: the
+// parsed package, its decoded bytecode, and the serialized archive bytes
+// (kept when the pipeline received them, built lazily — at most once —
+// otherwise). AnalyzeAPK publishes it on AppResult.Prepared so the
+// replay path reuses the same parse instead of re-reading the archive.
+type PreparedApp struct {
+	// APK is the parsed package, shared (not copied) across stages.
+	APK *apk.APK
+	// Dex is the decoded bytecode (nil when the app ships none). The VM
+	// boots from it directly; decoded classes are immutable at runtime.
+	Dex *dex.File
+
+	raw       []byte // archive as received; nil → serialize on demand
+	buildOnce sync.Once
+	built     []byte
+	buildErr  error
+}
+
+// Archive returns the serialized archive, building (and caching) it when
+// the prepared app was never in byte form — the rewritten package, whose
+// serialization is deferred until the installer actually stores it.
+func (p *PreparedApp) Archive() ([]byte, error) {
+	if p.raw != nil {
+		return p.raw, nil
+	}
+	p.buildOnce.Do(func() {
+		p.built, p.buildErr = apk.Build(p.APK)
+	})
+	return p.built, p.buildErr
+}
+
+// PrepareAPK parses an archive once into the form the replay path
+// consumes. AnalyzeAPK callers get one for free via AppResult.Prepared.
+func PrepareAPK(apkBytes []byte) (*PreparedApp, error) {
+	parsed, err := apk.Parse(apkBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	prep := &PreparedApp{APK: parsed, raw: apkBytes}
+	if parsed.Dex != nil {
+		df, err := dex.Decode(parsed.Dex)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", parsed.Manifest.Package, err)
+		}
+		prep.Dex = df
+	}
+	return prep, nil
+}
+
 // dynRun is the outcome of one dynamic exercise.
 type dynRun struct {
 	outcome  monkey.Outcome
@@ -233,7 +291,7 @@ type dynRun struct {
 // instrumentation and exercises it. preLaunch mutates the device after
 // provisioning (used by the retry path and the Table VIII replays). The
 // dump phase gets its own "interception" child span under ctx's span.
-func (a *Analyzer) runDynamic(ctx context.Context, apkBytes []byte, preLaunch func(*android.Device)) (*dynRun, error) {
+func (a *Analyzer) runDynamic(ctx context.Context, prep *PreparedApp, preLaunch func(*android.Device)) (*dynRun, error) {
 	devOpts := []android.Option{}
 	if a.opts.StorageQuota > 0 {
 		devOpts = append(devOpts, android.WithStorageQuota(a.opts.StorageQuota))
@@ -249,14 +307,15 @@ func (a *Analyzer) runDynamic(ctx context.Context, apkBytes []byte, preLaunch fu
 		net = a.opts.Network.Clone()
 		net.Online = dev.NetworkAvailable
 	}
-	parsed, err := apk.Parse(apkBytes)
+	archive, err := prep.Archive()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	app, err := dev.Packages.Install(parsed)
+	app, err := dev.Packages.InstallArchive(prep.APK, archive)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	app.Decoded = prep.Dex
 	logger := NewLogger(app.Package, dev.Storage)
 	logger.DisableBlocking = a.opts.DisableDeleteBlocking
 	tracker := NewTracker()
@@ -392,13 +451,24 @@ func (a *Analyzer) ReplayUnderConfig(apkBytes []byte, cfg ReplayConfig, releaseD
 // by ctx with a "replay" span annotated with the configuration, so an
 // app's replays land in the same span tree as its analysis.
 func (a *Analyzer) ReplayUnderConfigContext(ctx context.Context, apkBytes []byte, cfg ReplayConfig, releaseDate time.Time) (map[string]bool, error) {
+	prep, err := PrepareAPK(apkBytes)
+	if err != nil {
+		return nil, err
+	}
+	return a.ReplayPreparedContext(ctx, prep, cfg, releaseDate)
+}
+
+// ReplayPreparedContext is the parse-once replay path: it re-runs an
+// already-prepared app (AppResult.Prepared, or PrepareAPK) under one
+// Table VIII configuration without touching archive bytes again.
+func (a *Analyzer) ReplayPreparedContext(ctx context.Context, prep *PreparedApp, cfg ReplayConfig, releaseDate time.Time) (map[string]bool, error) {
 	if releaseDate.IsZero() {
 		releaseDate = DefaultReleaseDate
 	}
 	ctx, span := trace.Start(ctx, "replay")
 	span.SetAttr("config", string(cfg))
 	defer a.opts.Metrics.Time("stage.replay")()
-	run, err := a.runDynamic(ctx, apkBytes, func(dev *android.Device) {
+	run, err := a.runDynamic(ctx, prep, func(dev *android.Device) {
 		switch cfg {
 		case ConfigTimeBeforeRelease:
 			dev.SetClock(releaseDate.AddDate(0, -1, 0))

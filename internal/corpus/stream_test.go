@@ -1,0 +1,120 @@
+package corpus
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestStreamMatchesGenerate: the stream yields the same apps, in the
+// same order, with the same specs and per-index-seeded metadata, as the
+// materialized store at the same config.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := Config{Seed: 99, Scale: 0.002}
+	st, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	as, err := Stream(context.Background(), cfg, 8)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if as.Total != len(st.Apps) {
+		t.Fatalf("stream total = %d, store has %d apps", as.Total, len(st.Apps))
+	}
+	if as.Store.Apps != nil {
+		t.Fatal("stream store materialized its app list")
+	}
+	i := 0
+	for app := range as.Apps() {
+		want := st.Apps[i]
+		if app.Index != i {
+			t.Fatalf("app %d: stream Index = %d", i, app.Index)
+		}
+		if !reflect.DeepEqual(app.Meta, want.Meta) {
+			t.Fatalf("app %d (%s): stream metadata %+v != store metadata %+v",
+				i, want.Spec.Pkg, app.Meta, want.Meta)
+		}
+		if !reflect.DeepEqual(app.Spec, want.Spec) {
+			t.Fatalf("app %d (%s): stream spec differs from store spec", i, want.Spec.Pkg)
+		}
+		i++
+	}
+	if i != as.Total {
+		t.Fatalf("stream yielded %d apps, Total promised %d", i, as.Total)
+	}
+	// The archives must be byte-identical too; spot-check the first app.
+	a1, err := st.BuildAPK(st.Apps[0])
+	if err != nil {
+		t.Fatalf("store BuildAPK: %v", err)
+	}
+	st2, err := Stream(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	first := <-st2.Apps()
+	a2, err := st2.Store.BuildAPK(first)
+	if err != nil {
+		t.Fatalf("stream BuildAPK: %v", err)
+	}
+	if string(a1) != string(a2) {
+		t.Fatal("streamed app 0 builds a different archive than the materialized app 0")
+	}
+}
+
+// TestGenerateContextCancelled: an already-cancelled context aborts
+// generation before the plan runs.
+func TestGenerateContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateContext(ctx, Config{Seed: 1, Scale: 0.002}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GenerateContext err = %v, want context.Canceled", err)
+	}
+	if _, err := Stream(ctx, Config{Seed: 1, Scale: 0.002}, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamCancelledMidDrain: cancelling the stream's context closes
+// the channel early instead of blocking the producer forever.
+func TestStreamCancelledMidDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	as, err := Stream(ctx, Config{Seed: 7, Scale: 0.002}, 1)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	<-as.Apps() // take one, then abandon the stream
+	cancel()
+	n := 0
+	for range as.Apps() {
+		n++ // drain whatever was buffered before the close
+	}
+	if n > 2 {
+		t.Fatalf("stream kept producing after cancel: %d extra apps", n)
+	}
+}
+
+// TestMetadataPositionIndependent: app i's metadata depends only on
+// (seed, index), never on the draws other apps made — the property the
+// streaming producer relies on.
+func TestMetadataPositionIndependent(t *testing.T) {
+	release := time.Date(2016, 6, 1, 0, 0, 0, 0, time.UTC)
+	mk := func() []*StoreApp {
+		return []*StoreApp{
+			{Spec: &Spec{Pkg: "com.a", AdMob: true}, Index: 0},
+			{Spec: &Spec{Pkg: "com.b"}, Index: 1},
+			{Spec: &Spec{Pkg: "com.c", OwnNative: true}, Index: 2},
+		}
+	}
+	full := mk()
+	assignMetadata(full, 42, release)
+	// Re-assign only the last app: identical metadata even though the
+	// earlier apps made no draws this time.
+	solo := mk()[2:]
+	assignMetadata(solo, 42, release)
+	if !reflect.DeepEqual(solo[0].Meta, full[2].Meta) {
+		t.Fatalf("metadata depends on earlier apps' draws:\nsolo %+v\nfull %+v", solo[0].Meta, full[2].Meta)
+	}
+}

@@ -59,6 +59,13 @@ type Config struct {
 	TrainPerFamily int
 	// MonkeyEvents is the per-app fuzz budget (default 25).
 	MonkeyEvents int
+	// Stream, when true, consumes the corpus through corpus.Stream
+	// instead of a materialized store: workers analyze apps as the
+	// bounded producer yields them and each spec is released once its
+	// record lands, so marketplace-scale runs never hold the whole
+	// population. Results are byte-identical to a materialized run at
+	// the same Seed/Scale.
+	Stream bool
 	// Progress, when non-nil, receives periodic progress callbacks. It
 	// fires every 500 completed apps and once at done == total; failed
 	// apps count as completed.
@@ -269,16 +276,38 @@ func Run(cfg Config) (*Results, error) {
 	}
 
 	start := time.Now()
-	store, err := corpus.Generate(corpus.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	// Pre-worker phase: corpus generation and classifier training both
+	// honour cfg.Context, so a cancelled run returns before any worker
+	// starts instead of planning a marketplace first.
+	ccfg := corpus.Config{Seed: cfg.Seed, Scale: cfg.Scale}
+	var (
+		store  *corpus.Store
+		stream *corpus.AppStream
+		total  int
+		err    error
+	)
+	if cfg.Stream {
+		stream, err = corpus.Stream(ctx, ccfg, 2*cfg.Workers)
+		if err == nil {
+			store, total = stream.Store, stream.Total
+		}
+	} else {
+		store, err = corpus.GenerateContext(ctx, ccfg)
+		if err == nil {
+			total = len(store.Apps)
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: run cancelled before training: %w", err)
 	}
 	clf, err := store.TrainingSet(cfg.TrainPerFamily)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 
-	total := len(store.Apps)
 	records := make([]*AppRecord, total)
 	var (
 		wg      sync.WaitGroup
@@ -288,7 +317,26 @@ func Run(cfg Config) (*Results, error) {
 		retried int
 		errs    []error
 	)
-	jobs := make(chan int)
+	// Workers drain one unified app channel whichever way the corpus
+	// arrives: the streaming producer's own channel, or an inline
+	// dispatcher over the materialized list.
+	var jobs <-chan *corpus.StoreApp
+	if stream != nil {
+		jobs = stream.Apps()
+	} else {
+		ch := make(chan *corpus.StoreApp)
+		jobs = ch
+		go func() {
+			defer close(ch)
+			for _, app := range store.Apps {
+				select {
+				case ch <- app:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	collector := newTraceCollector(cfg.SlowTraces)
 	fleet := telemetry.New(telemetry.Options{})
 
@@ -313,11 +361,10 @@ func Run(cfg Config) (*Results, error) {
 	worker := func() {
 		defer wg.Done()
 		an := newAnalyzer(cfg, store, clf, reg)
-		for i := range jobs {
+		for app := range jobs {
 			if ctx.Err() != nil {
 				continue // drain without analyzing once cancelled
 			}
-			app := store.Apps[i]
 			var (
 				rec    *AppRecord
 				digest string
@@ -356,7 +403,7 @@ func Run(cfg Config) (*Results, error) {
 				// measurement aggregate (no trace — analysis was skipped).
 				fleet.ObserveApp(rec.Result, nil)
 			}
-			records[i] = rec
+			records[app.Index] = rec
 			mu.Lock()
 			done++
 			d := done
@@ -370,15 +417,6 @@ func Run(cfg Config) (*Results, error) {
 		wg.Add(1)
 		go worker()
 	}
-dispatch:
-	for i := range store.Apps {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(jobs)
 	wg.Wait()
 
 	if cfg.OnFailure == FailFast {
@@ -480,15 +518,19 @@ func analyzeOne(ctx context.Context, an *core.Analyzer, store *corpus.Store, app
 		}
 		rec.ReplayLoaded = make(map[core.ReplayConfig]map[string]bool, len(core.AllReplayConfigs))
 		for _, rc := range core.AllReplayConfigs {
-			loaded, err := an.ReplayUnderConfigContext(ctx, data, rc, app.Meta.ReleaseDate)
+			// Replays reuse the analysis run's parse (res.Prepared): the
+			// archive is never parsed or decoded again.
+			loaded, err := an.ReplayPreparedContext(ctx, res.Prepared, rc, app.Meta.ReleaseDate)
 			if err != nil {
 				return nil, err
 			}
 			rec.ReplayLoaded[rc] = loaded
 		}
 	}
-	// Drop intercepted binaries after static analysis to keep full-scale
-	// runs memory-light; the measurement only needs the annotations.
+	// Drop intercepted binaries and the parsed archive after static
+	// analysis and replays to keep full-scale runs memory-light; the
+	// measurement only needs the annotations.
+	res.Prepared = nil
 	for _, ev := range res.Events {
 		ev.Intercepted = nil
 	}

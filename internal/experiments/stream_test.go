@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/corpus"
+)
+
+// TestStreamedMatchesMaterialized is the streaming acceptance criterion:
+// a run that consumes the corpus through corpus.Stream renders a
+// byte-identical measurement report, and identical per-app statuses in
+// identical order, to the materialized-store run at the same seed and
+// scale (the TestShardMergeMatchesUnsharded of the streaming pipeline).
+func TestStreamedMatchesMaterialized(t *testing.T) {
+	mat, err := Run(Config{Seed: 29, Scale: 0.002, Workers: 4})
+	if err != nil {
+		t.Fatalf("materialized Run: %v", err)
+	}
+	str, err := Run(Config{Seed: 29, Scale: 0.002, Workers: 4, Stream: true})
+	if err != nil {
+		t.Fatalf("streamed Run: %v", err)
+	}
+	if len(str.Records) != len(mat.Records) {
+		t.Fatalf("streamed run produced %d records, materialized %d", len(str.Records), len(mat.Records))
+	}
+	for i := range mat.Records {
+		m, s := mat.Records[i], str.Records[i]
+		if m == nil || s == nil {
+			t.Fatalf("record %d: nil record (materialized=%v streamed=%v)", i, m != nil, s != nil)
+		}
+		if m.Meta.Package != s.Meta.Package {
+			t.Fatalf("record %d: package %q (materialized) != %q (streamed)", i, m.Meta.Package, s.Meta.Package)
+		}
+		if m.Result.Status != s.Result.Status {
+			t.Fatalf("record %d (%s): status %q (materialized) != %q (streamed)",
+				i, m.Meta.Package, m.Result.Status, s.Result.Status)
+		}
+	}
+	if m, s := mat.Fleet.MeasurementReport(), str.Fleet.MeasurementReport(); m != s {
+		t.Fatalf("measurement reports differ:\n--- materialized ---\n%s\n--- streamed ---\n%s", m, s)
+	}
+}
+
+// TestOneParsePerApp is the parse-count regression test: a full pipeline
+// run parses each analyzed archive exactly once. Corpus generation,
+// training, installs, the VM boot, static analysis and replays all work
+// from the one parse (or from raw dex payloads that never enter
+// apk.Parse), so the counter delta equals the app count.
+func TestOneParsePerApp(t *testing.T) {
+	before := apk.ParseCalls()
+	res, err := Run(Config{Seed: 31, Scale: 0.002, Workers: 2, Stream: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.RunStats.Retried != 0 || res.RunStats.Failed != 0 {
+		t.Fatalf("run not clean (retried=%d failed=%d); parse accounting needs a clean run",
+			res.RunStats.Retried, res.RunStats.Failed)
+	}
+	parses := apk.ParseCalls() - before
+	apps := int64(len(res.Records))
+	if parses != apps {
+		t.Fatalf("pipeline parsed %d times for %d apps, want exactly one parse per app", parses, apps)
+	}
+	// The run must have exercised the deep path (rewrite + dynamic +
+	// replays), or one-parse would be vacuous.
+	if res.RunStats.StatusCounts[core.StatusExercised] == 0 {
+		t.Fatal("no app reached the dynamic stage; one-parse check is vacuous")
+	}
+}
+
+// TestRunCancelledBeforeWorkers: cancellation is honoured in the
+// pre-worker phase — corpus generation returns the context error before
+// the plan runs, and no analysis function is ever invoked.
+func TestRunCancelledBeforeWorkers(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		stream bool
+	}{{"materialized", false}, {"streamed", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			var calls int32
+			cfg := Config{Seed: 11, Scale: 0.002, Workers: 2, Context: ctx, Stream: mode.stream}
+			cfg.analyze = func(ctx context.Context, an *core.Analyzer, st *corpus.Store, app *corpus.StoreApp) (*AppRecord, error) {
+				atomic.AddInt32(&calls, 1)
+				return analyzeOne(ctx, an, st, app)
+			}
+			_, err := Run(cfg)
+			if err == nil || !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if !strings.Contains(err.Error(), "corpus: generate") {
+				t.Fatalf("cancellation caught too late (want the pre-worker generate phase): %v", err)
+			}
+			if n := atomic.LoadInt32(&calls); n != 0 {
+				t.Fatalf("analysis ran %d times under a pre-cancelled context", n)
+			}
+		})
+	}
+}

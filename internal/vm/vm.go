@@ -106,7 +106,14 @@ func New(dev *android.Device, net *netsim.Network, app *android.InstalledApp, ho
 		fds:         make(map[int64]*fdEntry),
 		nextFD:      3,
 	}
-	if app.APK.Dex != nil {
+	if df := app.Decoded; df != nil {
+		// Pre-decoded bytecode from the single-parse pipeline: the VM
+		// never mutates decoded classes (statics live in m.statics), so
+		// the same *dex.File is safely shared across runs and replays.
+		for _, c := range df.Classes {
+			m.bootClasses[c.Name] = c
+		}
+	} else if app.APK.Dex != nil {
 		df, err := dex.Decode(app.APK.Dex)
 		if err != nil {
 			return nil, fmt.Errorf("vm: app %s: %w", app.Package, err)
