@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/cluster"
+	"github.com/dydroid/dydroid/internal/telemetry"
+)
+
+// fakeWorker answers just enough of the worker surface for the
+// coordinator to consider it a healthy member.
+func fakeWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "queue_len": 0, "queue_depth": 8})
+	})
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"snapshot_version": telemetry.SnapshotVersion})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClusterStatusCommand(t *testing.T) {
+	a, b := fakeWorker(t), fakeWorker(t)
+	coord, err := cluster.New(cluster.Config{
+		Nodes: []string{a.URL, b.URL}, ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	cts := httptest.NewServer(coord.Handler())
+	t.Cleanup(cts.Close)
+
+	var out strings.Builder
+	if err := runCluster(&out, []string{"status", cts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "2/2 nodes live") {
+		t.Fatalf("table missing live count:\n%s", got)
+	}
+	for _, node := range []string{a.URL, b.URL} {
+		if !strings.Contains(got, strings.TrimPrefix(node, "http://")) {
+			t.Fatalf("table missing node %s:\n%s", node, got)
+		}
+	}
+
+	out.Reset()
+	if err := runCluster(&out, []string{"status", "-json", cts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	var st cluster.StatusResponse
+	if err := json.Unmarshal([]byte(out.String()), &st); err != nil {
+		t.Fatalf("-json output not valid JSON: %v\n%s", err, out.String())
+	}
+	if st.Nodes != 2 || st.NodesLive != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	if err := runCluster(&out, []string{"bogus"}); err == nil {
+		t.Fatal("unknown verb must error")
+	}
+	if err := runCluster(&out, []string{"status"}); err == nil {
+		t.Fatal("missing coordinator URL must error")
+	}
+}

@@ -23,6 +23,12 @@
 //
 //	apkinspect fleet merge shard1/fleet.json shard2/fleet.json
 //	apkinspect fleet merge -o merged.json shard*/fleet.json
+//
+// The cluster subcommand asks a dydroidd coordinator for per-node
+// health, ring ownership shares, queue gauges, and snapshot versions:
+//
+//	apkinspect cluster status http://coordinator:8437
+//	apkinspect cluster status -json http://coordinator:8437
 package main
 
 import (
@@ -48,6 +54,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "fleet" {
 		if err := runFleet(os.Stdout, os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "apkinspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "cluster" {
+		if err := runCluster(os.Stdout, os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "apkinspect:", err)
 			os.Exit(1)
 		}

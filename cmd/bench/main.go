@@ -11,14 +11,19 @@
 // the current directory and prints the headline-metric diff against the
 // previous point. `bench diff` loads two trajectory points and reports
 // every metric that regressed beyond the threshold; it exits 1 when
-// regressions are found so CI can branch on it. With -fail-fold N the
+// regressions are found so CI can branch on it. A missing OLD file is
+// not an error: the first point of a trajectory has no baseline, so the
+// command notes that and exits 0. With -fail-fold N the
 // threshold findings become warnings and only a headline metric
 // collapsing by N times or more (bench.FoldGate) fails the command.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 
 	"github.com/dydroid/dydroid/internal/bench"
@@ -31,9 +36,9 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "run":
-		cmdRun(os.Args[2:])
+		os.Exit(cmdRun(os.Stdout, os.Args[2:]))
 	case "diff":
-		cmdDiff(os.Args[2:])
+		os.Exit(cmdDiff(os.Stdout, os.Args[2:]))
 	default:
 		fmt.Fprintf(os.Stderr, "bench: unknown command %q\n", os.Args[1])
 		usage()
@@ -47,15 +52,15 @@ func usage() {
   bench diff [-threshold PCT] [-fail-fold N] OLD.json NEW.json`)
 }
 
-func cmdRun(args []string) {
-	fs := flag.NewFlagSet("bench run", flag.ExitOnError)
-	name := fs.String("name", "trajectory", "label recorded in the result")
-	seed := fs.Int64("seed", 2016, "corpus generation seed")
-	scale := fs.Float64("scale", 0.02, "marketplace scale (1.0 = 58,739 apps)")
-	workers := fs.Int("workers", 0, "pipeline parallelism (0 = GOMAXPROCS)")
-	stream := fs.Bool("stream", true, "consume the corpus via the streaming producer")
-	out := fs.String("out", "", "write the JSON point here (default: auto-number BENCH_<n>.json and diff vs the previous point)")
-	fs.Parse(args)
+func cmdRun(w io.Writer, args []string) int {
+	fset := flag.NewFlagSet("bench run", flag.ExitOnError)
+	name := fset.String("name", "trajectory", "label recorded in the result")
+	seed := fset.Int64("seed", 2016, "corpus generation seed")
+	scale := fset.Float64("scale", 0.02, "marketplace scale (1.0 = 58,739 apps)")
+	workers := fset.Int("workers", 0, "pipeline parallelism (0 = GOMAXPROCS)")
+	stream := fset.Bool("stream", true, "consume the corpus via the streaming producer")
+	out := fset.String("out", "", "write the JSON point here (default: auto-number BENCH_<n>.json and diff vs the previous point)")
+	fset.Parse(args)
 
 	target, prev := *out, ""
 	if target == "" {
@@ -63,58 +68,65 @@ func cmdRun(args []string) {
 		target, prev, err = bench.NextTrajectory(".")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	res, err := bench.Run(bench.Config{Name: *name, Seed: *seed, Scale: *scale, Workers: *workers, Stream: *stream})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Print(res.Table())
+	fmt.Fprint(w, res.Table())
 	if err := res.WriteFile(target); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("\nwrote %s\n", target)
+	fmt.Fprintf(w, "\nwrote %s\n", target)
 	if prev != "" {
 		base, err := bench.ReadFile(prev)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Printf("\nvs %s:\n%s", prev, bench.Compare(base, res))
+		fmt.Fprintf(w, "\nvs %s:\n%s", prev, bench.Compare(base, res))
 	}
+	return 0
 }
 
-func cmdDiff(args []string) {
-	fs := flag.NewFlagSet("bench diff", flag.ExitOnError)
-	threshold := fs.Float64("threshold", bench.DefaultRegressionPct, "regression threshold in percent")
-	failFold := fs.Float64("fail-fold", 0, "fail only on headline metrics regressing by this factor or more (0 = fail on any threshold regression)")
-	fs.Parse(args)
-	if fs.NArg() != 2 {
+func cmdDiff(w io.Writer, args []string) int {
+	fset := flag.NewFlagSet("bench diff", flag.ExitOnError)
+	threshold := fset.Float64("threshold", bench.DefaultRegressionPct, "regression threshold in percent")
+	failFold := fset.Float64("fail-fold", 0, "fail only on headline metrics regressing by this factor or more (0 = fail on any threshold regression)")
+	fset.Parse(args)
+	if fset.NArg() != 2 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	base, err := bench.ReadFile(fs.Arg(0))
+	base, err := bench.ReadFile(fset.Arg(0))
+	if errors.Is(err, fs.ErrNotExist) {
+		// The first point of a trajectory has nothing to regress against;
+		// treat an absent baseline as a clean pass, not a CI failure.
+		fmt.Fprintf(w, "no baseline at %s — nothing to compare, passing\n", fset.Arg(0))
+		return 0
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	head, err := bench.ReadFile(fs.Arg(1))
+	head, err := bench.ReadFile(fset.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Print(bench.Compare(base, head))
+	fmt.Fprint(w, bench.Compare(base, head))
 	regs := bench.Diff(base, head, *threshold)
 	if len(regs) == 0 {
-		fmt.Printf("no regressions beyond %.1f%% (%s -> %s)\n", *threshold, fs.Arg(0), fs.Arg(1))
+		fmt.Fprintf(w, "no regressions beyond %.1f%% (%s -> %s)\n", *threshold, fset.Arg(0), fset.Arg(1))
 	} else {
-		fmt.Printf("%d regression(s) beyond %.1f%% (%s -> %s):\n", len(regs), *threshold, fs.Arg(0), fs.Arg(1))
+		fmt.Fprintf(w, "%d regression(s) beyond %.1f%% (%s -> %s):\n", len(regs), *threshold, fset.Arg(0), fset.Arg(1))
 		for _, g := range regs {
-			fmt.Printf("  %s\n", g)
+			fmt.Fprintf(w, "  %s\n", g)
 		}
 	}
 	if *failFold > 0 {
@@ -122,15 +134,16 @@ func cmdDiff(args []string) {
 		// collapse in a headline metric blocks.
 		gated := bench.FoldGate(base, head, *failFold)
 		if len(gated) > 0 {
-			fmt.Printf("%d headline metric(s) regressed %.3gx or worse:\n", len(gated), *failFold)
+			fmt.Fprintf(w, "%d headline metric(s) regressed %.3gx or worse:\n", len(gated), *failFold)
 			for _, g := range gated {
-				fmt.Printf("  %s\n", g)
+				fmt.Fprintf(w, "  %s\n", g)
 			}
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if len(regs) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

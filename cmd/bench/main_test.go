@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDiffMissingBaseline: the first trajectory point has nothing to
+// regress against — a missing OLD file passes with a note instead of
+// failing CI.
+func TestDiffMissingBaseline(t *testing.T) {
+	dir := t.TempDir()
+	head := filepath.Join(dir, "BENCH_1.json")
+	if err := os.WriteFile(head, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code := cmdDiff(&out, []string{filepath.Join(dir, "BENCH_0.json"), head})
+	if code != 0 {
+		t.Fatalf("missing baseline: exit %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Fatalf("missing baseline note absent:\n%s", out.String())
+	}
+}
+
+// TestDiffMalformedBaseline: a baseline that exists but cannot be read
+// as a trajectory point is still a hard error — only absence is benign.
+func TestDiffMalformedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_0.json")
+	if err := os.WriteFile(base, []byte(`not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	head := filepath.Join(dir, "BENCH_1.json")
+	if err := os.WriteFile(head, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if code := cmdDiff(&out, []string{base, head}); code != 1 {
+		t.Fatalf("malformed baseline: exit %d, want 1", code)
+	}
+}
+
+// TestDiffUsage: wrong arity is a usage error, not a pass.
+func TestDiffUsage(t *testing.T) {
+	var out strings.Builder
+	if code := cmdDiff(&out, []string{"only-one.json"}); code != 2 {
+		t.Fatalf("one arg: exit %d, want 2", code)
+	}
+}

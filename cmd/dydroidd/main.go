@@ -9,6 +9,8 @@
 //	dydroidd [-addr :8437] [-workers N] [-queue 64] [-store DIR]
 //	         [-cache 512] [-seed 7] [-events 25] [-no-train] [-no-review]
 //	         [-traces DIR] [-slow-deadline 0] [-logjson]
+//	dydroidd -coordinator -nodes host1:8437,host2:8437[,...]
+//	         [-addr :8437] [-probe-interval 2s] [-probe-failures 3]
 //
 // Endpoints: POST /v1/scan, GET /v1/result/{digest}, GET /v1/trace/{digest},
 // GET /v1/healthz, GET /v1/metricz (?format=prom for Prometheus text
@@ -28,6 +30,14 @@
 // responses that resolve a digest carry an X-Dydroid-Trace header. With
 // -logjson the daemon emits one structured JSON log line per request.
 // SIGINT/SIGTERM drain in-flight jobs before exit.
+//
+// With -coordinator the daemon analyzes nothing itself: it consistent-
+// hash-routes scans across the worker daemons named by -nodes, proxies
+// result and trace reads to the owning node, federates /v1/fleet across
+// the whole ring, and serves per-node health at /v1/cluster/status.
+// Workers that fail -probe-failures consecutive health probes are
+// ejected from the ring (their keys fail over to ring successors) and
+// rejoin automatically when probes recover.
 package main
 
 import (
@@ -42,10 +52,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/dydroid/dydroid/internal/bouncer"
+	"github.com/dydroid/dydroid/internal/cluster"
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/corpus"
 	"github.com/dydroid/dydroid/internal/droidnative"
@@ -69,6 +81,10 @@ func main() {
 	traceDir := flag.String("traces", "", "trace store directory (empty = in-memory traces only)")
 	slowDeadline := flag.Duration("slow-deadline", 0, "log analyses exceeding this duration with their span tree (0 disables)")
 	logJSON := flag.Bool("logjson", false, "structured JSON request logging on stderr")
+	coordinator := flag.Bool("coordinator", false, "run as cluster coordinator instead of a worker (requires -nodes)")
+	nodes := flag.String("nodes", "", "comma-separated worker daemon addresses the coordinator routes across")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "coordinator health-probe period")
+	probeFailures := flag.Int("probe-failures", 3, "consecutive probe failures before a worker is ejected from the ring")
 	flag.Parse()
 
 	opts := daemonOptions{
@@ -76,6 +92,10 @@ func main() {
 		CacheSize: *cacheSize, Seed: *seed, Events: *events,
 		NoTrain: *noTrain, NoReview: *noReview,
 		TraceDir: *traceDir, SlowDeadline: *slowDeadline, LogJSON: *logJSON,
+		Coordinator: *coordinator, ProbeInterval: *probeInterval, ProbeFailures: *probeFailures,
+	}
+	if *nodes != "" {
+		opts.Nodes = strings.Split(*nodes, ",")
 	}
 	if err := run(context.Background(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dydroidd:", err)
@@ -104,11 +124,20 @@ type daemonOptions struct {
 	// Ready, when non-nil, receives the bound listen address once the
 	// daemon is serving.
 	Ready func(addr string)
+
+	// Coordinator mode: route scans across Nodes instead of analyzing.
+	Coordinator   bool
+	Nodes         []string
+	ProbeInterval time.Duration
+	ProbeFailures int
 }
 
 // run serves until the parent context is cancelled or a signal arrives,
 // then drains.
 func run(parent context.Context, o daemonOptions) error {
+	if o.Coordinator {
+		return runCoordinator(parent, o)
+	}
 	// The same minimal marketplace cmd/dydroid uses: training families,
 	// the remote-payload network and companion apps.
 	store, err := corpus.Generate(corpus.Config{Seed: o.Seed, Scale: 0.001})
@@ -201,5 +230,63 @@ func run(parent context.Context, o daemonOptions) error {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "dydroidd: drained, bye")
+	return nil
+}
+
+// runCoordinator serves the routing front-end: no analyzer, no result
+// store of its own — every verdict lives on the worker that owns its
+// digest, and the coordinator only places, proxies, and federates.
+func runCoordinator(parent context.Context, o daemonOptions) error {
+	reg := metrics.New()
+	var logger *slog.Logger
+	if o.LogJSON {
+		w := o.LogWriter
+		if w == nil {
+			w = os.Stderr
+		}
+		logger = slog.New(slog.NewJSONHandler(w, nil))
+	}
+	coord, err := cluster.New(cluster.Config{
+		Nodes:         o.Nodes,
+		ProbeInterval: o.ProbeInterval,
+		ProbeFailures: o.ProbeFailures,
+		Metrics:       reg,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "dydroidd: coordinating %d nodes on %s (probe=%s eject-after=%d)\n",
+			len(o.Nodes), ln.Addr(), o.ProbeInterval, o.ProbeFailures)
+		if o.Ready != nil {
+			o.Ready(ln.Addr().String())
+		}
+		errc <- httpSrv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "dydroidd: coordinator draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "dydroidd: coordinator stopped")
 	return nil
 }

@@ -179,3 +179,121 @@ func TestDaemonLifecycle(t *testing.T) {
 		t.Fatal("daemon never drained")
 	}
 }
+
+// bootDaemon starts run() with the given options on an ephemeral port
+// and returns its base URL plus the exit channel.
+func bootDaemon(t *testing.T, ctx context.Context, o daemonOptions) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	o.Addr = "127.0.0.1:0"
+	o.Ready = func(addr string) { ready <- addr }
+	go func() { done <- run(ctx, o) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, done
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	return "", nil
+}
+
+// TestCoordinatorDaemon boots one worker daemon and one coordinator
+// daemon routing to it, scans through the coordinator, and reads the
+// verdict and cluster status back through the proxy.
+func TestCoordinatorDaemon(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerBase, workerDone := bootDaemon(t, ctx, daemonOptions{
+		Workers: 2, Queue: 8, Seed: 7, Events: 25, NoTrain: true, NoReview: true,
+	})
+	coordBase, coordDone := bootDaemon(t, ctx, daemonOptions{
+		Coordinator:   true,
+		Nodes:         []string{strings.TrimPrefix(workerBase, "http://")},
+		ProbeInterval: 100 * time.Millisecond,
+		ProbeFailures: 3,
+	})
+
+	b := dex.NewBuilder()
+	b.Class("com.clu.Main", "android.app.Activity").
+		Method("onCreate", dex.ACCPublic, 2, "V", "Landroid/os/Bundle;").ReturnVoid().Done()
+	dexBytes, err := dex.Encode(b.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	apkBytes, err := apk.Build(&apk.APK{
+		Manifest: apk.Manifest{Package: "com.clu", MinSDK: 16,
+			Application: apk.Application{Activities: []apk.Component{{Name: "com.clu.Main", Main: true}}}},
+		Dex: dexBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(coordBase+"/v1/scan", "application/octet-stream", bytes.NewReader(apkBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("scan via coordinator: %d", resp.StatusCode)
+	}
+	digest, err := apk.SigningDigest(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(coordBase + "/v1/result/" + digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if !bytes.Contains(body, []byte(`"package":"com.clu"`)) {
+				t.Fatalf("verdict = %s", body)
+			}
+			if resp.Header.Get("X-Dydroid-Node") == "" {
+				t.Fatal("proxied verdict missing X-Dydroid-Node")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("verdict never arrived via coordinator: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The coordinator surfaces per-node health.
+	resp, err = http.Get(coordBase + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		NodesLive int `json:"nodes_live"`
+		Members   []struct {
+			Healthy bool `json:"healthy"`
+		} `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.NodesLive != 1 || len(status.Members) != 1 || !status.Members[0].Healthy {
+		t.Fatalf("cluster status = %+v", status)
+	}
+
+	cancel()
+	for _, done := range []chan error{coordDone, workerDone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("daemon never drained")
+		}
+	}
+}

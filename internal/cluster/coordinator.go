@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/metrics"
+)
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Nodes is the explicit-join member list: worker addresses
+	// ("host:port" or full base URLs). At least one is required.
+	Nodes []string
+	// VNodes is the virtual-node count per member (default DefaultVNodes).
+	VNodes int
+	// ProbeInterval is the health-probe period (default 2s).
+	ProbeInterval time.Duration
+	// ProbeFailures is K: a node is ejected from the ring after K
+	// consecutive failed probes or forwards, and rejoins on the next
+	// successful probe (default 3).
+	ProbeFailures int
+	// MaxAttempts bounds the per-request failover chain: a scan or read
+	// touches at most this many distinct nodes in ring order before the
+	// coordinator answers 502 (default 3).
+	MaxAttempts int
+	// MaxBodyBytes bounds one forwarded submission (default 64 MiB).
+	MaxBodyBytes int64
+	// Client performs node requests (default: 30s-timeout client).
+	Client *http.Client
+	// Metrics receives coordinator counters. Optional.
+	Metrics *metrics.Registry
+	// Logger receives membership transitions (eject/rejoin). Optional.
+	Logger *slog.Logger
+}
+
+// member is the coordinator's view of one worker.
+type member struct {
+	name    string // as configured, the ring label
+	baseURL string
+
+	inRing   bool
+	fails    int // consecutive probe/forward failures
+	lastErr  string
+	degraded bool
+	draining bool
+	queueLen, queueDepth, inflight int
+	snapshotVersion                int
+	ejections                      int64
+}
+
+// Coordinator routes the vetting API across the worker ring. Create with
+// New, mount Handler, and call Close to stop the prober.
+type Coordinator struct {
+	cfg    Config
+	reg    *metrics.Registry
+	client *http.Client
+
+	mu      sync.Mutex
+	ring    *Ring
+	members map[string]*member
+
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New validates the config, joins every configured node, and starts the
+// health prober.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: Config.Nodes requires at least one worker")
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeFailures <= 0 {
+		cfg.ProbeFailures = 3
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		client:  cfg.Client,
+		ring:    NewRing(cfg.VNodes),
+		members: make(map[string]*member, len(cfg.Nodes)),
+		done:    make(chan struct{}),
+	}
+	for _, n := range cfg.Nodes {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, dup := c.members[n]; dup {
+			return nil, fmt.Errorf("cluster: node %q configured twice", n)
+		}
+		c.members[n] = &member{name: n, baseURL: baseURL(n), inRing: true}
+		c.ring.Add(n)
+	}
+	if len(c.members) == 0 {
+		return nil, errors.New("cluster: Config.Nodes requires at least one worker")
+	}
+	c.wg.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// baseURL normalizes a configured node address to a URL base.
+func baseURL(node string) string {
+	if strings.Contains(node, "://") {
+		return strings.TrimRight(node, "/")
+	}
+	return "http://" + node
+}
+
+// Close stops the prober. In-flight proxied requests finish on their own.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.done) })
+	c.wg.Wait()
+}
+
+// Handler returns the coordinator's HTTP routes — the same vetting API
+// surface the workers serve, plus the cluster status view.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scan", c.handleScan)
+	mux.HandleFunc("GET /v1/result/{digest}", c.handleResult)
+	mux.HandleFunc("GET /v1/trace/{digest}", c.handleTrace)
+	mux.HandleFunc("GET /v1/fleet", c.handleFleet)
+	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
+	mux.HandleFunc("GET /v1/cluster/status", c.handleStatus)
+	return mux
+}
+
+// candidates returns the bounded failover chain for a digest: up to
+// MaxAttempts distinct live nodes in ring order from the owner, with
+// degraded and draining nodes deprioritized (stable) so a saturated
+// worker stops receiving new scans before it starts answering 429.
+func (c *Coordinator) candidates(digest string) []*member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := c.ring.Successors(digest, c.cfg.MaxAttempts)
+	var fit, strained []*member
+	for _, n := range names {
+		m := c.members[n]
+		if m == nil {
+			continue
+		}
+		if m.degraded || m.draining {
+			strained = append(strained, m)
+		} else {
+			fit = append(fit, m)
+		}
+	}
+	return append(fit, strained...)
+}
+
+// noteForward records a forward outcome against the ejection counter: a
+// transport failure counts like a failed probe (K of them in a row eject
+// the node), a success resets the streak.
+func (c *Coordinator) noteForward(m *member, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err == nil {
+		m.fails = 0
+		return
+	}
+	m.fails++
+	m.lastErr = err.Error()
+	if m.inRing && m.fails >= c.cfg.ProbeFailures {
+		c.ejectLocked(m, "forward failures")
+	}
+}
+
+// ejectLocked removes m from the ring (the caller holds c.mu).
+func (c *Coordinator) ejectLocked(m *member, why string) {
+	m.inRing = false
+	m.ejections++
+	// The node may come back as a different binary; re-learn its snapshot
+	// format on recovery.
+	m.snapshotVersion = 0
+	c.ring.Remove(m.name)
+	c.reg.Add("cluster.ejected", 1)
+	c.reg.SetGauge("cluster.nodes.live", int64(c.ring.Len()))
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Warn("node ejected from ring", "node", m.name, "reason", why, "failures", m.fails, "last_error", m.lastErr)
+	}
+}
+
+// rejoinLocked returns m to the ring (the caller holds c.mu).
+func (c *Coordinator) rejoinLocked(m *member) {
+	m.inRing = true
+	m.fails = 0
+	m.lastErr = ""
+	c.ring.Add(m.name)
+	c.reg.Add("cluster.rejoined", 1)
+	c.reg.SetGauge("cluster.nodes.live", int64(c.ring.Len()))
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info("node rejoined ring", "node", m.name)
+	}
+}
+
+// handleScan reads the submission, routes it by signing digest, and
+// relays the owning node's answer. A node that cannot be reached fails
+// the request over to the next ring position; the chain is bounded by
+// MaxAttempts. Non-transport answers (including 429 backpressure) are
+// relayed as-is — placement is by digest, so a saturated owner must not
+// leak its scans to a node that will never serve their results.
+func (c *Coordinator) handleScan(w http.ResponseWriter, r *http.Request) {
+	c.reg.Add("cluster.scan.requests", 1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, c.cfg.MaxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > c.cfg.MaxBodyBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "submission exceeds size limit")
+		return
+	}
+	digest, err := apk.SigningDigest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var lastErr error
+	for i, m := range c.candidates(digest) {
+		resp, err := c.client.Post(m.baseURL+"/v1/scan", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			c.noteForward(m, err)
+			c.reg.Add("cluster.scan.failover", 1)
+			continue
+		}
+		c.noteForward(m, nil)
+		if i > 0 {
+			c.reg.Add("cluster.scan.rerouted", 1)
+		}
+		c.reg.Add("cluster.scan.forwarded", 1)
+		relay(w, resp, m.name)
+		return
+	}
+	c.reg.Add("cluster.scan.unroutable", 1)
+	if lastErr != nil {
+		httpError(w, http.StatusBadGateway, "no reachable node for digest: "+lastErr.Error())
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "no live nodes in ring")
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	c.proxyRead(w, r.PathValue("digest"), "/v1/result/")
+}
+
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	c.proxyRead(w, r.PathValue("digest"), "/v1/trace/")
+}
+
+// proxyRead fetches a digest-keyed read from its owning node. The same
+// bounded candidate window a scan used is probed in order, so a verdict
+// that failed over to a successor during a node death is still found:
+// a 404 from one node moves on to the next, any other answer is relayed.
+func (c *Coordinator) proxyRead(w http.ResponseWriter, digest, path string) {
+	var lastErr error
+	sawMiss := false
+	for _, m := range c.candidates(digest) {
+		resp, err := c.client.Get(m.baseURL + path + digest)
+		if err != nil {
+			lastErr = err
+			c.noteForward(m, err)
+			continue
+		}
+		c.noteForward(m, nil)
+		if resp.StatusCode == http.StatusNotFound {
+			sawMiss = true
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		relay(w, resp, m.name)
+		return
+	}
+	switch {
+	case sawMiss:
+		httpError(w, http.StatusNotFound, "unknown digest")
+	case lastErr != nil:
+		httpError(w, http.StatusBadGateway, "no reachable node for digest: "+lastErr.Error())
+	default:
+		httpError(w, http.StatusServiceUnavailable, "no live nodes in ring")
+	}
+}
+
+// relay copies a node response to the client, naming the serving node.
+func relay(w http.ResponseWriter, resp *http.Response, node string) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Dydroid-Trace"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Dydroid-Node", node)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// handleHealthz is the coordinator's own liveness view.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	live := c.ring.Len()
+	total := len(c.members)
+	c.mu.Unlock()
+	status := "ok"
+	if live == 0 {
+		status = "no-live-nodes"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     status,
+		"role":       "coordinator",
+		"nodes":      total,
+		"nodes_live": live,
+	})
+}

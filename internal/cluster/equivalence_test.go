@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/corpus"
+	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/service"
+	"github.com/dydroid/dydroid/internal/telemetry"
+)
+
+// realWorker boots one genuine vetting daemon (service.Server over the
+// full pipeline) on its own httptest server — a separate HTTP process
+// boundary from the coordinator and from its peers.
+func realWorker(t *testing.T, analyzer *core.Analyzer, queue int) (*service.Server, *httptest.Server) {
+	t.Helper()
+	s, err := service.New(service.Config{
+		Analyzer:   analyzer,
+		Workers:    2,
+		QueueDepth: queue,
+		Metrics:    metrics.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// scanAll submits every archive to base's /v1/scan, failing the test on
+// anything but an accept/cached/pending answer. It returns the digests.
+func scanAll(t *testing.T, base string, apps [][]byte) []string {
+	t.Helper()
+	digests := make([]string, 0, len(apps))
+	for i, data := range apps {
+		digest, err := apk.SigningDigest(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, digest)
+		resp, err := http.Post(base+"/v1/scan", "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("scan %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("scan %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	return digests
+}
+
+// awaitAll polls base's /v1/result until every digest is terminal
+// (served verdict or pinned failure).
+func awaitAll(t *testing.T, base string, digests []string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for _, digest := range digests {
+		for {
+			resp, err := http.Get(base + "/v1/result/" + digest)
+			if err != nil {
+				t.Fatalf("result %s: %v", digest, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusBadGateway {
+				break
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("result %s: %d %s", digest, resp.StatusCode, body)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("digest %s never became terminal", digest)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// corpusApps builds every archive of a small seeded marketplace.
+func corpusApps(t *testing.T, st *corpus.Store) [][]byte {
+	t.Helper()
+	apps := make([][]byte, 0, len(st.Apps))
+	for _, app := range st.Apps {
+		data, err := st.BuildAPK(app)
+		if err != nil {
+			t.Fatalf("build %s: %v", app.Spec.Pkg, err)
+		}
+		apps = append(apps, data)
+	}
+	return apps
+}
+
+// TestClusterFederationMatchesSingleNode is the tentpole acceptance
+// criterion, the shard-merge-equals-unsharded property lifted across
+// process boundaries: the same seeded corpus is vetted once by a single
+// daemon and once by a 3-worker ring behind a coordinator, and the
+// coordinator's federated fleet snapshot renders a MeasurementReport
+// byte-identical to the single node's.
+func TestClusterFederationMatchesSingleNode(t *testing.T) {
+	const seed = 29
+	st, err := corpus.Generate(corpus.Config{Seed: seed, Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := corpusApps(t, st)
+	if len(apps) < 12 {
+		t.Fatalf("corpus too small to shard meaningfully: %d apps", len(apps))
+	}
+	queue := len(apps) + 8
+	newAnalyzer := func() *core.Analyzer {
+		return core.NewAnalyzer(core.Options{Seed: seed, Network: st.Network, SetupDevice: st.SetupDevice})
+	}
+
+	// Reference: the whole corpus through one node.
+	_, single := realWorker(t, newAnalyzer(), queue)
+	digests := scanAll(t, single.URL, apps)
+	awaitAll(t, single.URL, digests)
+	resp, err := http.Get(single.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(telemetry.Snapshot)
+	if err := json.NewDecoder(resp.Body).Decode(want); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if want.Apps == 0 {
+		t.Fatal("single node observed no apps")
+	}
+
+	// Same corpus through a 3-worker ring behind a coordinator.
+	var stubs []string
+	for i := 0; i < 3; i++ {
+		_, ts := realWorker(t, newAnalyzer(), queue)
+		stubs = append(stubs, ts.URL)
+	}
+	reg := metrics.New()
+	coord, err := New(Config{Nodes: stubs, ProbeInterval: 50 * time.Millisecond, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	cts := httptest.NewServer(coord.Handler())
+	t.Cleanup(cts.Close)
+
+	clusterDigests := scanAll(t, cts.URL, apps)
+	awaitAll(t, cts.URL, clusterDigests)
+
+	fresp, err := http.Get(cts.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr FleetResponse
+	if err := json.NewDecoder(fresp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if fr.NodesMissing != 0 {
+		t.Fatalf("healthy cluster reported %d missing nodes (%v)", fr.NodesMissing, fr.Missing)
+	}
+	if fr.Snapshot.Apps != want.Apps {
+		t.Fatalf("federated apps = %d, single node = %d", fr.Snapshot.Apps, want.Apps)
+	}
+	// Every worker that analyzed at least one app contributed a shard;
+	// normalize the shard count (the only intentionally different field)
+	// exactly like the in-process property test does.
+	if fr.Snapshot.Shards != 3 {
+		t.Fatalf("federated shards = %d, want 3", fr.Snapshot.Shards)
+	}
+	fr.Snapshot.Shards = want.Shards
+	if got, wantRep := fr.Snapshot.MeasurementReport(), want.MeasurementReport(); got != wantRep {
+		t.Fatalf("federated measurement report diverges from single node:\n--- cluster ---\n%s\n--- single ---\n%s", got, wantRep)
+	}
+
+	// No scan fell back to a non-owner: with every node live, routed and
+	// forwarded counts agree.
+	if got := reg.Counter("cluster.scan.failover"); got != 0 {
+		t.Fatalf("healthy cluster recorded %d failovers", got)
+	}
+
+	// CI keeps the cluster status of this run as an artifact.
+	if path := os.Getenv("CLUSTER_STATUS_ARTIFACT"); path != "" {
+		var buf strings.Builder
+		RenderStatus(&buf, coord.Status())
+		fmt.Fprintf(&buf, "\nfederated: %d nodes, %d missing, %d apps, %d errors\n",
+			fr.Nodes, fr.NodesMissing, fr.Snapshot.Apps, fr.Snapshot.Errors)
+		if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+			t.Fatalf("write status artifact: %v", err)
+		}
+	}
+}
+
+// TestClusterWorkerDeathMidRun kills one real worker while a corpus
+// streams through the ring: the dead node is ejected, its scans fail
+// over at request level, and after resubmission every digest resolves
+// from a live node — no lost scan.
+func TestClusterWorkerDeathMidRun(t *testing.T) {
+	var apps [][]byte
+	for i := 0; i < 30; i++ {
+		apps = append(apps, tinyAPK(t, fmt.Sprintf("com.death.app%d", i)))
+	}
+	queue := len(apps) + 8
+	var workers []*httptest.Server
+	var nodes []string
+	for i := 0; i < 3; i++ {
+		_, ts := realWorker(t, core.NewAnalyzer(core.Options{}), queue)
+		workers = append(workers, ts)
+		nodes = append(nodes, ts.URL)
+	}
+	reg := metrics.New()
+	coord, err := New(Config{
+		Nodes: nodes, ProbeInterval: 25 * time.Millisecond, ProbeFailures: 2, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	cts := httptest.NewServer(coord.Handler())
+	t.Cleanup(cts.Close)
+
+	// First third lands while all three nodes are up.
+	digests := scanAll(t, cts.URL, apps[:10])
+
+	// Kill one worker mid-run. Requests owned by it must fail over.
+	workers[0].Close()
+	digests = append(digests, scanAll(t, cts.URL, apps[10:])...)
+	if got := reg.Counter("cluster.scan.unroutable"); got != 0 {
+		t.Fatalf("%d scans found no live node", got)
+	}
+	waitFor(t, "ejection of the dead worker", func() bool {
+		return !nodeStatus(coord, workers[0].URL).Healthy
+	})
+	if got := reg.Counter("cluster.ejected"); got < 1 {
+		t.Fatalf("cluster.ejected = %d", got)
+	}
+
+	// Verdicts that died with the worker are re-landed by resubmitting
+	// through the ring — placement now routes them to live owners.
+	scanAll(t, cts.URL, apps)
+	awaitAll(t, cts.URL, digests)
+	for _, digest := range digests {
+		resp, err := http.Get(cts.URL + "/v1/result/" + digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("digest %s lost after failover: %d %s", digest, resp.StatusCode, body)
+		}
+		if node := resp.Header.Get("X-Dydroid-Node"); node == workers[0].URL {
+			t.Fatalf("digest %s served by the dead node", digest)
+		}
+	}
+}

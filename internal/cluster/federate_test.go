@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/telemetry"
+)
+
+// cannedSnapshot builds a worker snapshot with the given counters.
+func cannedSnapshot(apps int64, counters map[string]int64) *telemetry.Snapshot {
+	s := telemetry.NewSnapshot(0, 0, 0)
+	s.Apps = apps
+	for k, v := range counters {
+		s.Counters[k] = v
+	}
+	return s
+}
+
+func getFleet(t *testing.T, base string) FleetResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("federated fleet: status %d — partial coverage must never be an error", resp.StatusCode)
+	}
+	var fr FleetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+// TestFleetFederationMergesAllNodes: the coordinator's /v1/fleet is the
+// telemetry.Merge of every node's snapshot.
+func TestFleetFederationMergesAllNodes(t *testing.T) {
+	a, b, c := newStubNode(t), newStubNode(t), newStubNode(t)
+	a.fleet = cannedSnapshot(1, map[string]int64{"apps.dex-dcl": 1})
+	b.fleet = cannedSnapshot(2, map[string]int64{"apps.dex-dcl": 2, "apps.remote": 5})
+	c.fleet = cannedSnapshot(3, map[string]int64{"apps.native-dcl": 7})
+	_, ts, _ := newTestCoordinator(t, Config{ProbeInterval: time.Hour}, a, b, c)
+
+	fr := getFleet(t, ts.URL)
+	if fr.Nodes != 3 || fr.NodesMissing != 0 || len(fr.Missing) != 0 {
+		t.Fatalf("full fleet = nodes %d missing %d %v", fr.Nodes, fr.NodesMissing, fr.Missing)
+	}
+	if fr.Snapshot.Apps != 6 || fr.Snapshot.Shards != 3 {
+		t.Fatalf("merged apps=%d shards=%d, want 6/3", fr.Snapshot.Apps, fr.Snapshot.Shards)
+	}
+	for k, want := range map[string]int64{"apps.dex-dcl": 3, "apps.remote": 5, "apps.native-dcl": 7} {
+		if got := fr.Snapshot.Counters[k]; got != want {
+			t.Fatalf("merged counter %s = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestFleetFederationPartialFailure: a worker down mid-merge yields the
+// survivors' snapshot plus an explicit nodes_missing count — never an
+// error, never a silently-partial report.
+func TestFleetFederationPartialFailure(t *testing.T) {
+	a, b, c := newStubNode(t), newStubNode(t), newStubNode(t)
+	a.fleet = cannedSnapshot(4, map[string]int64{"apps.dex-dcl": 4})
+	b.fleet = cannedSnapshot(5, map[string]int64{"apps.dex-dcl": 1})
+	c.fleet = cannedSnapshot(6, nil)
+	_, ts, reg := newTestCoordinator(t, Config{ProbeInterval: time.Hour}, a, b, c)
+
+	c.ts.Close()
+	fr := getFleet(t, ts.URL)
+	if fr.NodesMissing != 1 || len(fr.Missing) != 1 || fr.Missing[0] != c.name() {
+		t.Fatalf("missing = %d %v, want the dead node named", fr.NodesMissing, fr.Missing)
+	}
+	if fr.Snapshot.Apps != 9 || fr.Snapshot.Shards != 2 {
+		t.Fatalf("survivor merge apps=%d shards=%d, want 9/2", fr.Snapshot.Apps, fr.Snapshot.Shards)
+	}
+	if got := fr.Snapshot.Counters["apps.dex-dcl"]; got != 5 {
+		t.Fatalf("survivor counter = %d, want 5", got)
+	}
+	if got := reg.Counter("cluster.fleet.partial"); got != 1 {
+		t.Fatalf("cluster.fleet.partial = %d", got)
+	}
+
+	// A node serving an incompatible snapshot version is also explicit,
+	// not silently merged.
+	b.mu.Lock()
+	b.fleet.Version = telemetry.SnapshotVersion + 1
+	b.mu.Unlock()
+	fr = getFleet(t, ts.URL)
+	if fr.NodesMissing != 2 {
+		t.Fatalf("version-mismatched node not counted missing: %+v", fr)
+	}
+	if fr.Snapshot.Apps != 4 {
+		t.Fatalf("merge after mismatch apps=%d, want 4", fr.Snapshot.Apps)
+	}
+}
+
+// TestFleetFederationAllNodesDown: even a fully dark fleet answers 200
+// with an empty snapshot and every node counted missing.
+func TestFleetFederationAllNodesDown(t *testing.T) {
+	a, b := newStubNode(t), newStubNode(t)
+	_, ts, _ := newTestCoordinator(t, Config{ProbeInterval: time.Hour}, a, b)
+	a.ts.Close()
+	b.ts.Close()
+	fr := getFleet(t, ts.URL)
+	if fr.NodesMissing != 2 || fr.Snapshot.Apps != 0 || fr.Snapshot.Shards != 0 {
+		t.Fatalf("dark fleet = %+v", fr)
+	}
+}

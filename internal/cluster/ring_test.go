@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("digest-%04d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement: the same member set owns the same keys
+// regardless of join order.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing(0)
+	for _, n := range []string{"node-a", "node-b", "node-c"} {
+		a.Add(n)
+	}
+	b := NewRing(0)
+	for _, n := range []string{"node-c", "node-a", "node-b"} {
+		b.Add(n)
+	}
+	for _, k := range ringKeys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner %s vs %s under different join orders", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes every member owns a non-trivial,
+// non-dominant slice of both the hash space and a sampled key set.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"node-a", "node-b", "node-c"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	shares := r.Shares()
+	var total float64
+	for _, n := range nodes {
+		if shares[n] < 0.10 || shares[n] > 0.60 {
+			t.Fatalf("node %s hash-space share = %.3f, want within [0.10, 0.60]", n, shares[n])
+		}
+		total += shares[n]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %.9f, want 1", total)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(9000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		frac := float64(counts[n]) / float64(len(keys))
+		if frac < 0.10 || frac > 0.60 {
+			t.Fatalf("node %s sampled ownership = %.3f, want within [0.10, 0.60]", n, frac)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the consistent-hashing property: removing
+// a member moves only the keys it owned; every other key keeps its owner.
+// Re-adding it restores the original placement exactly.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"node-a", "node-b", "node-c"} {
+		r.Add(n)
+	}
+	keys := ringKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("node-c")
+	if r.Has("node-c") || r.Len() != 2 {
+		t.Fatalf("remove failed: has=%v len=%d", r.Has("node-c"), r.Len())
+	}
+	moved := 0
+	for _, k := range keys {
+		now := r.Owner(k)
+		if before[k] != "node-c" {
+			if now != before[k] {
+				t.Fatalf("key %s moved %s -> %s though its owner survived", k, before[k], now)
+			}
+		} else {
+			moved++
+			if now == "node-c" {
+				t.Fatalf("key %s still owned by removed node", k)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("node-c owned no sampled keys; balance test should have caught this")
+	}
+	r.Add("node-c")
+	for _, k := range keys {
+		if r.Owner(k) != before[k] {
+			t.Fatalf("key %s did not return to %s after rejoin", k, before[k])
+		}
+	}
+}
+
+// TestRingSuccessors: the failover chain starts at the owner, lists
+// distinct members, and is capped by the member count.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"node-a", "node-b", "node-c"} {
+		r.Add(n)
+	}
+	for _, k := range ringKeys(100) {
+		succ := r.Successors(k, 5)
+		if len(succ) != 3 {
+			t.Fatalf("key %s: %d successors, want 3", k, len(succ))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("key %s: chain starts at %s, owner is %s", k, succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("key %s: duplicate successor %s", k, n)
+			}
+			seen[n] = true
+		}
+	}
+	if got := NewRing(0).Successors("x", 3); got != nil {
+		t.Fatalf("empty ring successors = %v", got)
+	}
+	if got := r.Owner(""); got == "" {
+		t.Fatal("empty key must still resolve to an owner")
+	}
+}

@@ -328,14 +328,20 @@ const (
 	maxRetryAfter = 300
 )
 
+// coldStartJobLatency stands in for the mean analyze latency before any
+// analysis has completed, so even the very first 429 scales with the
+// queue that produced it instead of answering the clamp floor.
+const coldStartJobLatency = time.Second
+
 // retryAfterSeconds sizes the 429 backoff to the actual backlog: the
 // time for the worker pool to drain the current queue, estimated as
-// queue length × recent mean analyze latency ÷ workers. With no latency
-// history yet (or no metrics registry) it falls back to 1s.
+// queue length × recent mean analyze latency ÷ workers. Before the first
+// completed analysis (or without a metrics registry) the mean is unknown
+// and a nominal per-job second stands in.
 func (s *Server) retryAfterSeconds() int {
 	mean := s.reg.HistSnapshot("service.job").Mean
 	if mean <= 0 {
-		return minRetryAfter
+		mean = coldStartJobLatency
 	}
 	backlog := time.Duration(len(s.jobs)) * mean / time.Duration(s.cfg.Workers)
 	secs := int((backlog + time.Second - 1) / time.Second) // ceiling
@@ -397,12 +403,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if closed {
 		status = "draining"
 	}
+	// Degraded flags queue saturation (≥80% full) while the node still
+	// answers 200: a cluster coordinator deprioritizes a degraded node
+	// for new scans before it starts returning 429s.
+	queueLen := len(s.jobs)
+	degraded := cap(s.jobs) > 0 && queueLen*5 >= cap(s.jobs)*4
 	// The histogram point-read keeps this endpoint cheap enough for tight
 	// liveness-probe intervals (no full registry snapshot).
 	job := s.reg.HistSnapshot("service.job")
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      status,
-		"queue_len":   len(s.jobs),
+		"degraded":    degraded,
+		"queue_len":   queueLen,
 		"queue_depth": cap(s.jobs),
 		"inflight":    inflight,
 		"workers":     s.cfg.Workers,

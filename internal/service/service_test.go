@@ -359,6 +359,112 @@ func TestRetryAfterScalesWithBacklog(t *testing.T) {
 	}
 }
 
+// TestRetryAfterColdStart: with zero completed analyses there is no mean
+// latency yet; the very first 429 must still scale with the backlog (a
+// nominal 1s/job stands in) instead of answering the 1s clamp floor.
+func TestRetryAfterColdStart(t *testing.T) {
+	started := make(chan string, 8)
+	unblock := make(chan struct{})
+	reg := metrics.New()
+	_, ts := newStubServer(t, Config{Workers: 2, QueueDepth: 4, Metrics: reg},
+		func(digest string, data []byte) (*Record, error) {
+			started <- digest
+			<-unblock
+			return &Record{Digest: digest, Status: "exercised"}, nil
+		})
+	defer close(unblock)
+
+	// Two jobs occupy the workers, four fill the queue; nothing has ever
+	// completed, so the job histogram is empty.
+	for i := 0; i < 6; i++ {
+		resp, body := postScan(t, ts, tinyAPK(t, fmt.Sprintf("com.cold.app%d", i)))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("scan %d: %d %s", i, resp.StatusCode, body)
+		}
+		if i == 1 {
+			for w := 0; w < 2; w++ {
+				select {
+				case <-started:
+				case <-time.After(10 * time.Second):
+					t.Fatal("workers never started")
+				}
+			}
+		}
+	}
+	resp, body := postScan(t, ts, tinyAPK(t, "com.cold.rejected"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated scan: %d %s", resp.StatusCode, body)
+	}
+	got, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// Full queue (4) × nominal 1s ÷ 2 workers = 2s — backlog-shaped even
+	// with zero latency history, not the misleading 1s floor.
+	if got != 2 {
+		t.Fatalf("cold-start Retry-After = %d, want 2 (queue 4 × 1s nominal / 2 workers)", got)
+	}
+}
+
+// healthzBody fetches and decodes /v1/healthz.
+func healthzBody(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestHealthzReportsQueueSaturation: the degraded field flips to true at
+// ≥80% queue occupancy while the endpoint keeps answering 200, so a
+// coordinator's prober can deprioritize the node before it 429s.
+func TestHealthzReportsQueueSaturation(t *testing.T) {
+	started := make(chan string, 8)
+	unblock := make(chan struct{})
+	_, ts := newStubServer(t, Config{Workers: 1, QueueDepth: 5},
+		func(digest string, data []byte) (*Record, error) {
+			started <- digest
+			<-unblock
+			return &Record{Digest: digest, Status: "exercised"}, nil
+		})
+	defer close(unblock)
+
+	if h := healthzBody(t, ts); h["degraded"] != false {
+		t.Fatalf("idle healthz degraded = %v, want false", h["degraded"])
+	}
+
+	// One job blocks the worker, four more sit in the queue: 4/5 = 80%.
+	for i := 0; i < 5; i++ {
+		resp, body := postScan(t, ts, tinyAPK(t, fmt.Sprintf("com.sat.app%d", i)))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("scan %d: %d %s", i, resp.StatusCode, body)
+		}
+		if i == 0 {
+			select {
+			case <-started:
+			case <-time.After(10 * time.Second):
+				t.Fatal("worker never started")
+			}
+		}
+	}
+	h := healthzBody(t, ts)
+	if h["degraded"] != true {
+		t.Fatalf("saturated healthz = %v, want degraded=true", h)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("saturated healthz status = %v, want ok (degraded is not down)", h["status"])
+	}
+}
+
 // TestSingleflightDedup submits the same digest twice while the first
 // copy is still in flight: no second job is enqueued.
 func TestSingleflightDedup(t *testing.T) {
