@@ -15,6 +15,7 @@
 // JSONL file written by experiments -trace:
 //
 //	apkinspect trace -store DIR <digest>
+//	apkinspect trace -url http://coordinator:8437 <digest>   # stitched cross-node tree
 //	apkinspect trace traces.jsonl
 //
 // The fleet subcommand merges per-shard measurement snapshots (the
@@ -32,11 +33,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"github.com/dydroid/dydroid/internal/apktool"
 	"github.com/dydroid/dydroid/internal/nativebin"
@@ -81,19 +86,26 @@ func main() {
 }
 
 // runTrace renders stored span trees. With -store the argument is a
-// signing digest resolved against a dydroidd trace store; otherwise it is
-// a JSONL file of traces (experiments -trace output), all rendered in
-// order.
+// signing digest resolved against a dydroidd trace store; with -url it
+// is a digest fetched live from a daemon or coordinator (a coordinator
+// answers with the stitched cross-node tree: its route/failover spans
+// with the owning worker's analysis subtree grafted underneath);
+// otherwise it is a JSONL file of traces (experiments -trace output),
+// all rendered in order.
 func runTrace(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	storeDir := fs.String("store", "", "trace store directory (argument is a digest)")
+	baseURL := fs.String("url", "", "daemon or coordinator base URL (argument is a digest, fetched from /v1/trace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: apkinspect trace [-store DIR] <digest|file.jsonl>")
+		return fmt.Errorf("usage: apkinspect trace [-store DIR | -url URL] <digest|file.jsonl>")
 	}
 	arg := fs.Arg(0)
+	if *baseURL != "" {
+		return renderRemoteTrace(w, *baseURL, arg)
+	}
 	if *storeDir != "" {
 		st, err := trace.OpenStore(trace.StoreOptions{Dir: *storeDir})
 		if err != nil {
@@ -124,6 +136,38 @@ func runTrace(w io.Writer, args []string) error {
 		}
 		trace.Render(w, t)
 	}
+	return nil
+}
+
+// renderRemoteTrace fetches /v1/trace/{digest} from a live daemon or
+// coordinator and renders the tree, naming the node that stitched it
+// when the answer carries one.
+func renderRemoteTrace(w io.Writer, base, digest string) error {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(base + "/v1/trace/" + digest)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace %s: status %d: %s", digest, resp.StatusCode, body)
+	}
+	var t trace.Trace
+	if err := json.Unmarshal(body, &t); err != nil {
+		return fmt.Errorf("decode trace: %w", err)
+	}
+	if node := resp.Header.Get("X-Dydroid-Node"); node != "" {
+		fmt.Fprintf(w, "worker subtree from %s\n", node)
+	}
+	trace.Render(w, &t)
 	return nil
 }
 

@@ -2,7 +2,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -163,6 +166,34 @@ func TestTraceSubcommandFromStore(t *testing.T) {
 	}
 	if err := runTrace(io.Discard, []string{"-store", dir, "0000000000000000"}); err == nil {
 		t.Fatal("unknown digest rendered without error")
+	}
+}
+
+func TestTraceSubcommandFromURL(t *testing.T) {
+	const digest = "ffeeddccbbaa99887766554433221100"
+	tr := buildTestTrace(t, digest)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/trace/"+digest {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("X-Dydroid-Node", "worker-3")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(tr)
+	}))
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := runTrace(&out, []string{"-url", ts.URL, digest}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"worker subtree from worker-3", "digest " + digest, "analyze", "unpack"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("remote render missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := runTrace(io.Discard, []string{"-url", ts.URL, "0000000000000000"}); err == nil {
+		t.Fatal("unknown remote digest rendered without error")
 	}
 }
 

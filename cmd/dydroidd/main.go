@@ -14,7 +14,9 @@
 //
 // Endpoints: POST /v1/scan, GET /v1/result/{digest}, GET /v1/trace/{digest},
 // GET /v1/healthz, GET /v1/metricz (?format=prom for Prometheus text
-// exposition), GET /v1/fleet (mergeable measurement snapshot),
+// exposition, including SLO burn-rate gauges), GET /v1/fleet (mergeable
+// measurement snapshot with SLO state and ops events),
+// GET /v1/events (lifecycle event journal as JSONL),
 // GET /v1/dashboard (self-refreshing HTML fleet dashboard, ?refresh=N),
 // GET /v1/version (build + format versions), and runtime profiling under
 // /debug/pprof/. Submit with curl:
@@ -33,8 +35,11 @@
 //
 // With -coordinator the daemon analyzes nothing itself: it consistent-
 // hash-routes scans across the worker daemons named by -nodes, proxies
-// result and trace reads to the owning node, federates /v1/fleet across
-// the whole ring, and serves per-node health at /v1/cluster/status.
+// result reads to the owning node, serves stitched cross-node span trees
+// at /v1/trace/{digest} (its own routing/failover spans with the owning
+// worker's analysis tree grafted underneath), federates /v1/fleet and
+// the /v1/events ops timeline across the whole ring, and serves per-node
+// health at /v1/cluster/status.
 // Workers that fail -probe-failures consecutive health probes are
 // ejected from the ring (their keys fail over to ring successors) and
 // rejoin automatically when probes recover.
@@ -189,6 +194,7 @@ func run(parent context.Context, o daemonOptions) error {
 		Fleet:        telemetry.New(telemetry.Options{}),
 		SlowDeadline: o.SlowDeadline,
 		Logger:       logger,
+		Node:         nodeName(o.Addr),
 	})
 	if err != nil {
 		return err
@@ -233,6 +239,19 @@ func run(parent context.Context, o daemonOptions) error {
 	return nil
 }
 
+// nodeName labels this daemon's journal events. The listen address is
+// the name the coordinator's member list knows the node by; a bare
+// ":port" address is qualified with the hostname so multi-host
+// timelines stay readable.
+func nodeName(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		if host, err := os.Hostname(); err == nil {
+			return host + addr
+		}
+	}
+	return addr
+}
+
 // runCoordinator serves the routing front-end: no analyzer, no result
 // store of its own — every verdict lives on the worker that owns its
 // digest, and the coordinator only places, proxies, and federates.
@@ -246,11 +265,18 @@ func runCoordinator(parent context.Context, o daemonOptions) error {
 		}
 		logger = slog.New(slog.NewJSONHandler(w, nil))
 	}
+	// Route span trees land in the same -traces location workers use for
+	// their analysis trees (in-memory when unset).
+	traces, err := trace.OpenStore(trace.StoreOptions{Dir: o.TraceDir, Metrics: reg})
+	if err != nil {
+		return err
+	}
 	coord, err := cluster.New(cluster.Config{
 		Nodes:         o.Nodes,
 		ProbeInterval: o.ProbeInterval,
 		ProbeFailures: o.ProbeFailures,
 		Metrics:       reg,
+		Traces:        traces,
 		Logger:        logger,
 	})
 	if err != nil {

@@ -2,17 +2,21 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/events"
 	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/trace"
 )
 
 // Config assembles a Coordinator.
@@ -38,6 +42,14 @@ type Config struct {
 	Client *http.Client
 	// Metrics receives coordinator counters. Optional.
 	Metrics *metrics.Registry
+	// Traces stores the coordinator's per-scan route span trees, keyed by
+	// digest; GET /v1/trace/{digest} grafts the worker's analysis tree
+	// under the matching attempt span. Nil gets a default in-memory store.
+	Traces *trace.Store
+	// Journal records cluster lifecycle events (eject/rejoin/failover),
+	// federated with member journals at GET /v1/events. Nil gets a fresh
+	// default journal.
+	Journal *events.Journal
 	// Logger receives membership transitions (eject/rejoin). Optional.
 	Logger *slog.Logger
 }
@@ -97,6 +109,16 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
 	}
+	if cfg.Traces == nil {
+		st, err := trace.OpenStore(trace.StoreOptions{Metrics: cfg.Metrics})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: route trace store: %w", err)
+		}
+		cfg.Traces = st
+	}
+	if cfg.Journal == nil {
+		cfg.Journal = events.NewJournal(0)
+	}
 	c := &Coordinator{
 		cfg:     cfg,
 		reg:     cfg.Metrics,
@@ -146,6 +168,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/result/{digest}", c.handleResult)
 	mux.HandleFunc("GET /v1/trace/{digest}", c.handleTrace)
 	mux.HandleFunc("GET /v1/fleet", c.handleFleet)
+	mux.HandleFunc("GET /v1/events", c.handleEvents)
 	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
 	mux.HandleFunc("GET /v1/cluster/status", c.handleStatus)
 	return mux
@@ -201,6 +224,10 @@ func (c *Coordinator) ejectLocked(m *member, why string) {
 	c.ring.Remove(m.name)
 	c.reg.Add("cluster.ejected", 1)
 	c.reg.SetGauge("cluster.nodes.live", int64(c.ring.Len()))
+	c.cfg.Journal.Record(events.Event{
+		Type: events.NodeEjected, Node: m.name,
+		Detail: fmt.Sprintf("%s after %d failures: %s", why, m.fails, m.lastErr),
+	})
 	if c.cfg.Logger != nil {
 		c.cfg.Logger.Warn("node ejected from ring", "node", m.name, "reason", why, "failures", m.fails, "last_error", m.lastErr)
 	}
@@ -214,6 +241,7 @@ func (c *Coordinator) rejoinLocked(m *member) {
 	c.ring.Add(m.name)
 	c.reg.Add("cluster.rejoined", 1)
 	c.reg.SetGauge("cluster.nodes.live", int64(c.ring.Len()))
+	c.cfg.Journal.Record(events.Event{Type: events.NodeRejoined, Node: m.name})
 	if c.cfg.Logger != nil {
 		c.cfg.Logger.Info("node rejoined ring", "node", m.name)
 	}
@@ -225,6 +253,13 @@ func (c *Coordinator) rejoinLocked(m *member) {
 // MaxAttempts. Non-transport answers (including 429 backpressure) are
 // relayed as-is — placement is by digest, so a saturated owner must not
 // leak its scans to a node that will never serve their results.
+//
+// Every routed scan opens a root "route" span with one "attempt" child
+// per touched node; the winning attempt's span ID travels to the worker
+// in the X-Dydroid-Parent header, so GET /v1/trace/{digest} can graft
+// the worker's analysis tree under that exact span. A transport failure
+// closes its attempt span with the error and journals a scan-failover
+// event — the reroute is visible, never silent.
 func (c *Coordinator) handleScan(w http.ResponseWriter, r *http.Request) {
 	c.reg.Add("cluster.scan.requests", 1)
 	body, err := io.ReadAll(io.LimitReader(r.Body, c.cfg.MaxBodyBytes+1))
@@ -241,15 +276,49 @@ func (c *Coordinator) handleScan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	rt := trace.New("route", trace.WithID(trace.IDFromDigest(digest)), trace.WithDigest(digest))
+	rt.Root.SetAttr("digest", digest)
+	defer func() {
+		rt.Root.End()
+		if perr := c.cfg.Traces.Put(rt); perr != nil {
+			c.reg.Add("cluster.trace.errors", 1)
+		}
+	}()
+	cands := c.candidates(digest)
+	if len(cands) > 0 {
+		rt.Root.SetAttr("owner", cands[0].name)
+	}
 	var lastErr error
-	for i, m := range c.candidates(digest) {
-		resp, err := c.client.Post(m.baseURL+"/v1/scan", "application/octet-stream", bytes.NewReader(body))
+	for i, m := range cands {
+		sp := rt.Root.StartChild("attempt")
+		sp.ID = trace.NewID()
+		sp.SetAttr("node", m.name)
+		sp.SetAttr("attempt", strconv.Itoa(i+1))
+		if lastErr != nil {
+			sp.SetAttr("failover.reason", lastErr.Error())
+		}
+		req, rerr := http.NewRequestWithContext(r.Context(), http.MethodPost, m.baseURL+"/v1/scan", bytes.NewReader(body))
+		if rerr != nil {
+			sp.EndErr(rerr)
+			httpError(w, http.StatusInternalServerError, rerr.Error())
+			return
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set(headerParent, trace.ParentRef(rt.ID, sp.ID))
+		resp, err := c.client.Do(req)
 		if err != nil {
+			sp.EndErr(err)
 			lastErr = err
 			c.noteForward(m, err)
 			c.reg.Add("cluster.scan.failover", 1)
+			c.cfg.Journal.Record(events.Event{
+				Type: events.ScanFailover, Node: m.name, Digest: digest,
+				Detail: err.Error(),
+			})
 			continue
 		}
+		sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
+		sp.End()
 		c.noteForward(m, nil)
 		if i > 0 {
 			c.reg.Add("cluster.scan.rerouted", 1)
@@ -260,18 +329,76 @@ func (c *Coordinator) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	c.reg.Add("cluster.scan.unroutable", 1)
 	if lastErr != nil {
+		rt.Root.EndErr(lastErr)
 		httpError(w, http.StatusBadGateway, "no reachable node for digest: "+lastErr.Error())
 		return
 	}
+	rt.Root.EndErr(errors.New("no live nodes in ring"))
 	httpError(w, http.StatusServiceUnavailable, "no live nodes in ring")
 }
+
+// headerParent mirrors service.HeaderParent without importing the
+// service package (the coordinator speaks only HTTP to its workers).
+const headerParent = "X-Dydroid-Parent"
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	c.proxyRead(w, r.PathValue("digest"), "/v1/result/")
 }
 
+// handleTrace serves the stitched cross-node span tree of a digest: the
+// coordinator's own route trace with the worker's analysis tree grafted
+// under the attempt span that carried the scan (matched by the span ID
+// the X-Dydroid-Parent header named). With no local route trace — e.g.
+// the scan reached the worker directly — the worker's tree is relayed
+// unstitched; with no reachable worker trace the route tree alone is
+// served, so a dead node's routing history stays inspectable.
 func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
-	c.proxyRead(w, r.PathValue("digest"), "/v1/trace/")
+	digest := r.PathValue("digest")
+	route, routeErr := c.cfg.Traces.Get(digest)
+	remote, node := c.fetchWorkerTrace(digest)
+	switch {
+	case routeErr != nil && remote == nil:
+		// Neither side knows the digest: fall back to the plain proxy so
+		// error semantics (404 vs 502) match the other read endpoints.
+		c.proxyRead(w, digest, "/v1/trace/")
+		return
+	case routeErr != nil:
+		w.Header().Set("X-Dydroid-Node", node)
+		writeJSON(w, http.StatusOK, remote)
+		return
+	}
+	if remote != nil {
+		trace.Graft(route, remote)
+		w.Header().Set("X-Dydroid-Node", node)
+	}
+	writeJSON(w, http.StatusOK, route)
+}
+
+// fetchWorkerTrace pulls the first available worker span tree for a
+// digest from the candidate window, returning it with the serving node's
+// name ("" when no node has one).
+func (c *Coordinator) fetchWorkerTrace(digest string) (*trace.Trace, string) {
+	for _, m := range c.candidates(digest) {
+		resp, err := c.client.Get(m.baseURL + "/v1/trace/" + digest)
+		if err != nil {
+			c.noteForward(m, err)
+			continue
+		}
+		c.noteForward(m, nil)
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		var tr trace.Trace
+		err = json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&tr)
+		resp.Body.Close()
+		if err != nil || tr.Root == nil {
+			continue
+		}
+		return &tr, m.name
+	}
+	return nil, ""
 }
 
 // proxyRead fetches a digest-keyed read from its owning node. The same

@@ -14,6 +14,7 @@ import (
 
 	"github.com/dydroid/dydroid/internal/apk"
 	"github.com/dydroid/dydroid/internal/dex"
+	"github.com/dydroid/dydroid/internal/events"
 	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/telemetry"
 )
@@ -48,6 +49,7 @@ type stubNode struct {
 	scans       map[string]int // digest -> times scanned
 	results     map[string][]byte
 	fleet       *telemetry.Snapshot
+	journal     []events.Event
 	degraded    bool
 	failHealthz bool
 }
@@ -109,6 +111,13 @@ func newStubNode(t *testing.T) *stubNode {
 		defer n.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(n.fleet)
+	})
+	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		evs := append([]events.Event(nil), n.journal...)
+		n.mu.Unlock()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		events.EncodeJSONL(w, evs)
 	})
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

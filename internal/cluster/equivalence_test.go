@@ -19,6 +19,7 @@ import (
 	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/service"
 	"github.com/dydroid/dydroid/internal/telemetry"
+	"github.com/dydroid/dydroid/internal/trace"
 )
 
 // realWorker boots one genuine vetting daemon (service.Server over the
@@ -26,11 +27,16 @@ import (
 // boundary from the coordinator and from its peers.
 func realWorker(t *testing.T, analyzer *core.Analyzer, queue int) (*service.Server, *httptest.Server) {
 	t.Helper()
+	traces, err := trace.OpenStore(trace.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s, err := service.New(service.Config{
 		Analyzer:   analyzer,
 		Workers:    2,
 		QueueDepth: queue,
 		Metrics:    metrics.New(),
+		Traces:     traces,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/dydroid/dydroid/internal/events"
 	"github.com/dydroid/dydroid/internal/stats"
 	"github.com/dydroid/dydroid/internal/telemetry"
 )
@@ -79,6 +80,9 @@ func (c *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
 	if len(missing) > 0 {
 		c.reg.Add("cluster.fleet.partial", 1)
 	}
+	// The coordinator's own lifecycle events (ejections, failovers) join
+	// the members' journals in the federated timeline.
+	merged.Events.Merge(c.cfg.Journal.Log())
 	writeJSON(w, http.StatusOK, FleetResponse{
 		Nodes:        len(list),
 		NodesMissing: len(missing),
@@ -106,6 +110,59 @@ func (c *Coordinator) fetchSnapshot(ctx context.Context, base string) (*telemetr
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
 	return snap, nil
+}
+
+// handleEvents federates the ops timeline: every member's /v1/events
+// JSONL is fetched concurrently and merged with the coordinator's own
+// journal into one bounded newest-first log, served back as JSONL. The
+// merge dedups identical entries, so refetching a member (or a member
+// appearing in several coordinators' views) never duplicates history.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	list := make([]*member, 0, len(c.members))
+	for _, m := range c.members {
+		list = append(list, m)
+	}
+	c.mu.Unlock()
+
+	logs := make([]events.Log, len(list))
+	var wg sync.WaitGroup
+	for i, m := range list {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			evs, err := c.fetchEvents(r.Context(), m.baseURL)
+			if err != nil {
+				return // a dead node contributes nothing; its ejection is in our own journal
+			}
+			logs[i] = events.Log{K: events.DefaultCap, Entries: evs}
+		}(i, m)
+	}
+	wg.Wait()
+
+	merged := c.cfg.Journal.Log()
+	for _, l := range logs {
+		merged.Merge(l)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	events.EncodeJSONL(w, merged.Entries)
+}
+
+// fetchEvents pulls one node's journal.
+func (c *Coordinator) fetchEvents(ctx context.Context, base string) ([]events.Event, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("events: status %d", resp.StatusCode)
+	}
+	return events.DecodeJSONL(io.LimitReader(resp.Body, 8<<20))
 }
 
 // NodeStatus is one worker's row in the cluster status view.

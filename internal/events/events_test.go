@@ -1,0 +1,175 @@
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// synthEvent builds one deterministic event; i orders timestamps.
+func synthEvent(i int) Event {
+	types := []Type{NodeEjected, NodeRejoined, ScanFailover, QueueDegraded, SlowAnalysis}
+	return Event{
+		Time:   time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second),
+		Type:   types[i%len(types)],
+		Node:   fmt.Sprintf("node-%d", i%3),
+		Digest: fmt.Sprintf("%04x", i),
+		Detail: fmt.Sprintf("detail %d", i),
+	}
+}
+
+func mustJSON(t *testing.T, l Log) string {
+	t.Helper()
+	raw, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestLogMergeEqualsUnion: folding per-shard logs reproduces the
+// single-pass log regardless of merge order — the property that lets a
+// coordinator federate member journals.
+func TestLogMergeEqualsUnion(t *testing.T) {
+	const n = 60
+	union := Log{K: DefaultCap}
+	var a, b, c Log
+	a.K, b.K, c.K = DefaultCap, DefaultCap, DefaultCap
+	for i := 0; i < n; i++ {
+		e := synthEvent(i)
+		union.Observe(e)
+		switch {
+		case i < 20:
+			a.Observe(e)
+		case i < 45:
+			b.Observe(e)
+		default:
+			c.Observe(e)
+		}
+	}
+	want := mustJSON(t, union)
+	for name, parts := range map[string][]Log{
+		"a+b+c": {a, b, c},
+		"c+a+b": {c, a, b},
+		"b+c+a": {b, c, a},
+	} {
+		got := Log{K: DefaultCap}
+		for _, p := range parts {
+			got.Merge(p)
+		}
+		if g := mustJSON(t, got); g != want {
+			t.Errorf("merge order %s diverges:\n got: %.200s\nwant: %.200s", name, g, want)
+		}
+	}
+}
+
+// TestLogMergeIdempotent: refetching the same member journal must not
+// duplicate its entries.
+func TestLogMergeIdempotent(t *testing.T) {
+	var l Log
+	l.K = 16
+	for i := 0; i < 5; i++ {
+		l.Observe(synthEvent(i))
+	}
+	merged := Log{K: 16}
+	merged.Merge(l)
+	merged.Merge(l)
+	if len(merged.Entries) != 5 {
+		t.Fatalf("double merge kept %d entries, want 5", len(merged.Entries))
+	}
+	if mustJSON(t, merged) != mustJSON(t, l) {
+		t.Fatal("idempotent merge diverged")
+	}
+}
+
+// TestLogBoundKeepsNewest: past the cap, the oldest events fall off.
+func TestLogBoundKeepsNewest(t *testing.T) {
+	l := Log{K: 8}
+	for i := 0; i < 30; i++ {
+		l.Observe(synthEvent(i))
+	}
+	if len(l.Entries) != 8 {
+		t.Fatalf("len = %d, want 8", len(l.Entries))
+	}
+	if l.Entries[0].Digest != fmt.Sprintf("%04x", 29) {
+		t.Fatalf("newest entry = %+v, want event 29", l.Entries[0])
+	}
+	for i := 1; i < len(l.Entries); i++ {
+		if l.Entries[i].Time.After(l.Entries[i-1].Time) {
+			t.Fatal("entries not newest-first")
+		}
+	}
+}
+
+func TestJournalRecordStampsTimeAndBounds(t *testing.T) {
+	j := NewJournal(4)
+	before := time.Now()
+	j.Record(Event{Type: DrainStarted, Node: "w1"})
+	got := j.Log()
+	if len(got.Entries) != 1 {
+		t.Fatalf("len = %d", len(got.Entries))
+	}
+	if got.Entries[0].Time.Before(before) {
+		t.Fatal("zero event time not stamped with now")
+	}
+	for i := 0; i < 10; i++ {
+		j.Record(synthEvent(i))
+	}
+	if j.Len() != 4 {
+		t.Fatalf("journal len = %d, want cap 4", j.Len())
+	}
+	// Nil journals are inert.
+	var nj *Journal
+	nj.Record(Event{Type: DrainStarted})
+	if nj.Len() != 0 || len(nj.Log().Entries) != 0 {
+		t.Fatal("nil journal not inert")
+	}
+}
+
+func TestJournalConcurrentRecord(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j.Record(Event{Type: ScanFailover, Node: fmt.Sprintf("w%d", w), Digest: fmt.Sprint(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if j.Len() != 64 {
+		t.Fatalf("journal len = %d, want 64", j.Len())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	evs := []Event{synthEvent(0), synthEvent(1), synthEvent(2)}
+	var buf strings.Builder
+	if err := EncodeJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimRight(buf.String(), "\n"), "\n") + 1; lines != 3 {
+		t.Fatalf("encoded %d lines, want 3", lines)
+	}
+	back, err := DecodeJSONL(strings.NewReader(buf.String() + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("decoded %d events", len(back))
+	}
+	for i := range back {
+		if !back[i].Time.Equal(evs[i].Time) || back[i].Type != evs[i].Type ||
+			back[i].Node != evs[i].Node || back[i].Detail != evs[i].Detail {
+			t.Fatalf("event %d diverged: %+v != %+v", i, back[i], evs[i])
+		}
+	}
+	if _, err := DecodeJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage line decoded")
+	}
+}

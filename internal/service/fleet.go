@@ -1,6 +1,8 @@
 package service
 
 import (
+	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
@@ -8,15 +10,66 @@ import (
 	"strings"
 	"time"
 
+	"github.com/dydroid/dydroid/internal/events"
 	"github.com/dydroid/dydroid/internal/telemetry"
 	"github.com/dydroid/dydroid/internal/trace"
 )
 
 // handleFleet serves the current fleet aggregate as a versioned JSON
 // snapshot — the same shape `experiments` writes per shard and
-// `apkinspect fleet merge` combines.
+// `apkinspect fleet merge` combines. The ops journal rides along in the
+// snapshot's events field, so a coordinator federating member snapshots
+// federates their timelines with the same merge.
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.cfg.Fleet.Snapshot())
+	writeJSON(w, http.StatusOK, s.fleetSnapshot())
+}
+
+// fleetSnapshot is the served aggregate: the fleet snapshot with the
+// live ops journal folded into its events log.
+func (s *Server) fleetSnapshot() *telemetry.Snapshot {
+	snap := s.cfg.Fleet.Snapshot()
+	snap.Events.Merge(s.cfg.Journal.Log())
+	return snap
+}
+
+// handleEvents serves the ops journal as JSONL, newest first — the
+// format the coordinator federates and the cluster tests archive as an
+// artifact.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	events.EncodeJSONL(w, s.cfg.Journal.Log().Entries)
+}
+
+// writeSLOProm appends the SLO burn-rate gauges to a Prometheus
+// exposition. The registry only carries int64 counters and gauges, so
+// the float-valued SLO lines are rendered here from the live reports.
+func (s *Server) writeSLOProm(w io.Writer) {
+	reports := s.cfg.Fleet.Snapshot().SLO.Reports(s.now())
+	if len(reports) == 0 {
+		return
+	}
+	for _, name := range []string{
+		"dydroid_slo_burn_rate_fast", "dydroid_slo_burn_rate_slow",
+		"dydroid_slo_error_budget_used", "dydroid_slo_alert_firing",
+	} {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		for _, r := range reports {
+			var v float64
+			switch name {
+			case "dydroid_slo_burn_rate_fast":
+				v = r.Fast.BurnRate
+			case "dydroid_slo_burn_rate_slow":
+				v = r.Slow.BurnRate
+			case "dydroid_slo_error_budget_used":
+				v = r.BudgetUsed
+			case "dydroid_slo_alert_firing":
+				if r.Alert != telemetry.AlertOK {
+					v = 1
+				}
+			}
+			fmt.Fprintf(w, "%s{objective=%q} %g\n", name, r.Name, v)
+		}
+	}
 }
 
 // handleDashboard renders the self-refreshing HTML fleet dashboard. The
@@ -47,9 +100,9 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Title:   "dydroidd fleet",
 		Refresh: refresh,
 		Header:  header,
-		Snap:    s.cfg.Fleet.Snapshot(),
+		Snap:    s.fleetSnapshot(),
 		Gauges:  gauges,
-		Now:     time.Now(),
+		Now:     s.now(),
 	})
 }
 
@@ -115,7 +168,7 @@ func (s *Server) armWatchdog(digest string) func(*trace.Trace) {
 	if s.cfg.SlowDeadline <= 0 {
 		return func(*trace.Trace) {}
 	}
-	start := time.Now()
+	start := s.now()
 	timer := time.AfterFunc(s.cfg.SlowDeadline, func() {
 		s.reg.Add("service.slow.analyses", 1)
 		s.watchdogLogger().Warn("analysis exceeding deadline",
@@ -124,16 +177,21 @@ func (s *Server) armWatchdog(digest string) func(*trace.Trace) {
 	})
 	return func(tr *trace.Trace) {
 		stopped := timer.Stop()
-		elapsed := time.Since(start)
+		elapsed := s.now().Sub(start)
 		// Slowness is decided by elapsed time, not timer state: Stop can
 		// win its race against the runtime even after the deadline passed,
-		// in which case the in-flight callback never ran.
+		// in which case the in-flight callback never ran and the counter,
+		// journal event and rendered span tree would silently go missing.
 		if elapsed <= s.cfg.SlowDeadline {
 			return
 		}
 		if stopped {
 			s.reg.Add("service.slow.analyses", 1)
 		}
+		s.cfg.Journal.Record(events.Event{
+			Type: events.SlowAnalysis, Node: s.cfg.Node, Digest: digest,
+			Detail: fmt.Sprintf("elapsed %s over deadline %s", elapsed, s.cfg.SlowDeadline),
+		})
 		var b strings.Builder
 		trace.Render(&b, tr)
 		s.watchdogLogger().Warn("slow analysis completed",

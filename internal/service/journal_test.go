@@ -1,0 +1,275 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dydroid/dydroid/internal/apk"
+	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/events"
+	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/trace"
+)
+
+// fetchEvents GETs /v1/events and decodes the JSONL body.
+func fetchEvents(t *testing.T, url string) []events.Event {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/events: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	evs, err := events.DecodeJSONL(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func hasEvent(evs []events.Event, typ events.Type) bool {
+	for _, e := range evs {
+		if e.Type == typ {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEventsEndpointAndFleetCarryJournal: journal entries serve as JSONL
+// at /v1/events and ride in the /v1/fleet snapshot's events log.
+func TestEventsEndpointAndFleetCarryJournal(t *testing.T) {
+	s, ts := newStubServer(t, Config{Workers: 1, Node: "w1"}, nil)
+	if evs := fetchEvents(t, ts.URL); len(evs) != 0 {
+		t.Fatalf("fresh journal has %d events", len(evs))
+	}
+	s.cfg.Journal.Record(events.Event{Type: events.SlowAnalysis, Node: "w1", Digest: "aabb", Detail: "synthetic"})
+
+	evs := fetchEvents(t, ts.URL)
+	if len(evs) != 1 || evs[0].Type != events.SlowAnalysis || evs[0].Node != "w1" {
+		t.Fatalf("events = %+v", evs)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var snap struct {
+		Events events.Log `json:"events"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Events.Entries) != 1 || snap.Events.Entries[0].Type != events.SlowAnalysis {
+		t.Fatalf("fleet snapshot events = %+v", snap.Events)
+	}
+}
+
+// TestQueueSaturationJournalsTransitions: crossing the 80% queue mark
+// journals queue-degraded once; draining below journals queue-recovered.
+func TestQueueSaturationJournalsTransitions(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan string, 16)
+	s, ts := newStubServer(t, Config{Workers: 1, QueueDepth: 5, Node: "w1"},
+		func(digest string, data []byte) (*Record, error) {
+			started <- digest
+			<-release
+			return NewRecord(digest, &core.AppResult{Package: "com.q." + digest[:4]}, nil), nil
+		})
+
+	// First submission occupies the worker; five more fill the queue to
+	// 5/5, crossing the ≥80% mark.
+	digests := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		body := tinyAPK(t, "com.queue.app"+string(rune('a'+i)))
+		d, err := apk.SigningDigest(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+		resp, _ := postScan(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("scan %d: %d", i, resp.StatusCode)
+		}
+		if i == 0 {
+			<-started // the worker holds job 0 before the queue fills
+		}
+	}
+	evs := fetchEvents(t, ts.URL)
+	if !hasEvent(evs, events.QueueDegraded) {
+		t.Fatalf("no queue-degraded event after filling queue: %+v", evs)
+	}
+	if hasEvent(evs, events.QueueRecovered) {
+		t.Fatal("premature queue-recovered event")
+	}
+
+	close(release)
+	for _, d := range digests {
+		pollResult(t, ts, d)
+	}
+	evs = fetchEvents(t, ts.URL)
+	if !hasEvent(evs, events.QueueRecovered) {
+		t.Fatalf("no queue-recovered event after drain: %+v", evs)
+	}
+	degradedCount := 0
+	for _, e := range evs {
+		if e.Type == events.QueueDegraded {
+			degradedCount++
+		}
+	}
+	if degradedCount != 1 {
+		t.Fatalf("queue-degraded journaled %d times, want once", degradedCount)
+	}
+	_ = s
+}
+
+// TestShutdownJournalsDrain: Shutdown records drain-started and
+// drain-finished exactly once each, even when called twice.
+func TestShutdownJournalsDrain(t *testing.T) {
+	s, err := New(Config{Analyzer: core.NewAnalyzer(core.Options{}), Workers: 1, Metrics: metrics.New(), Node: "w1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	log := s.cfg.Journal.Log()
+	var startedN, finishedN int
+	for _, e := range log.Entries {
+		switch e.Type {
+		case events.DrainStarted:
+			startedN++
+		case events.DrainFinished:
+			finishedN++
+		}
+	}
+	if startedN != 1 || finishedN != 1 {
+		t.Fatalf("drain events started=%d finished=%d, want 1/1:\n%+v", startedN, finishedN, log.Entries)
+	}
+}
+
+// TestWatchdogElapsedAuthoritative is the regression test for the
+// disarm race: even when timer.Stop wins against the runtime after the
+// deadline has already passed (so the in-flight callback never fired),
+// the elapsed time decides slowness — the counter, the journal event and
+// the rendered span tree must all still happen.
+func TestWatchdogElapsedAuthoritative(t *testing.T) {
+	var buf syncBuffer
+	reg := metrics.New()
+	s, err := New(Config{
+		Analyzer:     core.NewAnalyzer(core.Options{}),
+		Workers:      1,
+		Metrics:      reg,
+		SlowDeadline: time.Hour, // the real timer never fires in-test
+		Node:         "w1",
+		Logger:       slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+
+	// Fake clock: the analysis "takes" two hours between arm and disarm
+	// while the wall-clock timer has no chance to expire.
+	base := time.Date(2026, 8, 1, 9, 0, 0, 0, time.UTC)
+	var calls atomic.Int64
+	s.now = func() time.Time {
+		if calls.Add(1) == 1 {
+			return base
+		}
+		return base.Add(2 * time.Hour)
+	}
+
+	tr := trace.New("scan", trace.WithDigest("deadbeef"))
+	disarm := s.armWatchdog("deadbeef")
+	tr.Root.End()
+	disarm(tr)
+
+	if got := reg.Snapshot().Counters["service.slow.analyses"]; got != 1 {
+		t.Fatalf("slow counter = %d, want 1", got)
+	}
+	evs := s.cfg.Journal.Log().Entries
+	if len(evs) != 1 || evs[0].Type != events.SlowAnalysis || evs[0].Digest != "deadbeef" {
+		t.Fatalf("journal = %+v, want one slow-analysis event", evs)
+	}
+	if !strings.Contains(evs[0].Detail, "2h0m0s") {
+		t.Fatalf("slow event detail = %q, want the fake elapsed time", evs[0].Detail)
+	}
+	if !strings.Contains(buf.String(), "slow analysis completed") {
+		t.Fatalf("no completion log line:\n%s", buf.String())
+	}
+
+	// Under the deadline nothing happens.
+	calls.Store(0)
+	s.cfg.Journal = events.NewJournal(0)
+	fast := s.armWatchdog("cafe")
+	s.now = func() time.Time { return base } // zero elapsed
+	fast(tr)
+	if got := reg.Snapshot().Counters["service.slow.analyses"]; got != 1 {
+		t.Fatalf("fast path bumped the slow counter: %d", got)
+	}
+	if s.cfg.Journal.Len() != 0 {
+		t.Fatal("fast path journaled a slow-analysis event")
+	}
+}
+
+// TestScanParentHeaderParentsTrace: a forwarded submission's
+// X-Dydroid-Parent reference lands as parent.trace/parent.span attrs on
+// the stored scan root, the hook the coordinator grafts by.
+func TestScanParentHeaderParentsTrace(t *testing.T) {
+	traces, err := trace.OpenStore(trace.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newStubServer(t, Config{
+		Analyzer: core.NewAnalyzer(core.Options{Seed: 1}),
+		Workers:  1,
+		Traces:   traces,
+	}, nil)
+
+	apkBytes := tinyAPK(t, "com.fwd.app")
+	digest, err := apk.SigningDigest(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/scan", strings.NewReader(string(apkBytes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderParent, "routetrace00000001:span-route-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	pollResult(t, ts, digest)
+
+	stored, err := traces.Get(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stored.Root.Attr(trace.AttrParentTrace); got != "routetrace00000001" {
+		t.Fatalf("parent.trace = %q", got)
+	}
+	if got := stored.Root.Attr(trace.AttrParentSpan); got != "span-route-7" {
+		t.Fatalf("parent.span = %q", got)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"github.com/dydroid/dydroid/internal/apk"
 	"github.com/dydroid/dydroid/internal/bouncer"
 	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/events"
 	"github.com/dydroid/dydroid/internal/metrics"
 	"github.com/dydroid/dydroid/internal/resultstore"
 	"github.com/dydroid/dydroid/internal/telemetry"
@@ -76,6 +77,13 @@ type Config struct {
 	// past it is logged while still in flight, and its span tree is
 	// rendered to the log once it completes. Zero disables the watchdog.
 	SlowDeadline time.Duration
+	// Journal records ops lifecycle events (queue saturation, drain,
+	// slow analyses), served as JSONL at GET /v1/events and folded into
+	// the /v1/fleet snapshot. Nil gets a fresh default journal.
+	Journal *events.Journal
+	// Node names this daemon in journal events (typically its listen
+	// address). Optional.
+	Node string
 	// Logger, when non-nil, receives one structured line per HTTP request
 	// (method, path, digest, status, latency, trace ID). Optional.
 	Logger *slog.Logger
@@ -92,7 +100,13 @@ type Server struct {
 
 	mu       sync.Mutex
 	closed   bool
-	inflight map[string]*job
+	// drainLogged dedups the drain-finished journal event across
+	// repeated Shutdown calls.
+	drainLogged bool
+	inflight    map[string]*job
+	// queueDegraded tracks the saturation state so the journal records
+	// only the degraded/recovered transitions, not every sample.
+	queueDegraded bool
 	// results is the verdict authority when no Store is configured;
 	// failed pins pipeline errors so GETs can distinguish "analysis
 	// failed" from "never seen".
@@ -101,12 +115,17 @@ type Server struct {
 
 	// analyze is the per-submission work function; tests replace it to
 	// block workers or inject failures.
-	analyze func(digest string, data []byte) (*Record, error)
+	analyze func(j *job) (*Record, error)
+	// now is the clock; tests replace it to pin watchdog elapsed times.
+	now func() time.Time
 }
 
 type job struct {
 	digest string
 	data   []byte
+	// parent is the upstream span reference from the X-Dydroid-Parent
+	// submission header ("" when the scan arrived directly).
+	parent string
 }
 
 // New validates the config and starts the worker pool.
@@ -126,6 +145,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Fleet == nil {
 		cfg.Fleet = telemetry.New(telemetry.Options{})
 	}
+	if cfg.Journal == nil {
+		cfg.Journal = events.NewJournal(0)
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      cfg.Metrics,
@@ -135,6 +157,7 @@ func New(cfg Config) (*Server, error) {
 		failed:   make(map[string]string),
 	}
 	s.analyze = s.analyzeAPK
+	s.now = time.Now
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -152,6 +175,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metricz", s.handleMetricz)
 	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	// Runtime introspection: profiles, heap, goroutines, execution traces.
@@ -166,12 +190,13 @@ func (s *Server) Handler() http.Handler {
 // TraceID derives the deterministic trace ID of a digest's analysis run
 // (its leading 16 hex chars), so clients can compute it from a digest
 // without waiting for the X-Dydroid-Trace header.
-func TraceID(digest string) string {
-	if len(digest) > 16 {
-		return digest[:16]
-	}
-	return digest
-}
+func TraceID(digest string) string { return trace.IDFromDigest(digest) }
+
+// HeaderParent is the submission header carrying the upstream span
+// reference ("traceID:spanID"): a coordinator forwarding a scan stamps
+// it so the worker's analysis trace records which routing attempt it
+// belongs to, and the coordinator can stitch the trees back together.
+const HeaderParent = "X-Dydroid-Parent"
 
 // requestMeta is filled by handlers as they resolve a digest, so the
 // logging middleware can report it without re-parsing bodies.
@@ -232,6 +257,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.jobs)
+		s.cfg.Journal.Record(events.Event{
+			Type: events.DrainStarted, Node: s.cfg.Node,
+			Detail: fmt.Sprintf("%d queued, %d in flight", len(s.jobs), len(s.inflight)),
+		})
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -241,6 +270,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.mu.Lock()
+		drained := !s.drainLogged
+		s.drainLogged = true
+		s.mu.Unlock()
+		if drained {
+			s.cfg.Journal.Record(events.Event{Type: events.DrainFinished, Node: s.cfg.Node})
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: shutdown: %w", ctx.Err())
@@ -292,7 +328,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 
 	// Slow path: enqueue, unless a twin won the race, the queue is full,
 	// or the daemon is draining.
-	j := &job{digest: digest, data: body}
+	j := &job{digest: digest, data: body, parent: r.Header.Get(HeaderParent)}
 	s.mu.Lock()
 	switch {
 	case s.closed:
@@ -311,7 +347,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		delete(s.failed, digest) // a resubmission retries a failed digest
 		s.mu.Unlock()
 		s.reg.Add("service.scan.queued", 1)
-		s.reg.SetGauge("service.queue.len", int64(len(s.jobs)))
+		s.noteQueueLevel()
 		writeJSON(w, http.StatusAccepted, scanResponse{Digest: digest, Status: "queued"})
 	default:
 		s.mu.Unlock()
@@ -407,7 +443,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// answers 200: a cluster coordinator deprioritizes a degraded node
 	// for new scans before it starts returning 429s.
 	queueLen := len(s.jobs)
-	degraded := cap(s.jobs) > 0 && queueLen*5 >= cap(s.jobs)*4
+	degraded := s.queueSaturated(queueLen)
 	// The histogram point-read keeps this endpoint cheap enough for tight
 	// liveness-probe intervals (no full registry snapshot).
 	job := s.reg.HistSnapshot("service.job")
@@ -444,6 +480,7 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.value)
 			}
 		}
+		s.writeSLOProm(w)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -453,6 +490,36 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "\nresultstore\thits=%d misses=%d cache-hits=%d puts=%d stale=%d quarantined=%d\n",
 			st.Hits, st.Misses, st.CacheHits, st.Puts, st.Stale, st.Quarantined)
 	}
+}
+
+// queueSaturated is the shared degradation predicate: the submission
+// queue is ≥80% full.
+func (s *Server) queueSaturated(queueLen int) bool {
+	return cap(s.jobs) > 0 && queueLen*5 >= cap(s.jobs)*4
+}
+
+// noteQueueLevel samples the queue depth into the gauge and journals the
+// degraded/recovered transitions (only the edges — a saturated queue
+// sampled twice records one event).
+func (s *Server) noteQueueLevel() {
+	queueLen := len(s.jobs)
+	s.reg.SetGauge("service.queue.len", int64(queueLen))
+	degraded := s.queueSaturated(queueLen)
+	s.mu.Lock()
+	changed := degraded != s.queueDegraded
+	s.queueDegraded = degraded
+	s.mu.Unlock()
+	if !changed {
+		return
+	}
+	typ := events.QueueRecovered
+	if degraded {
+		typ = events.QueueDegraded
+	}
+	s.cfg.Journal.Record(events.Event{
+		Type: typ, Node: s.cfg.Node,
+		Detail: fmt.Sprintf("queue %d/%d", queueLen, cap(s.jobs)),
+	})
 }
 
 // lookup finds a completed verdict in the store (or the in-memory map
@@ -474,9 +541,9 @@ func (s *Server) lookup(digest string) (json.RawMessage, bool) {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
-		s.reg.SetGauge("service.queue.len", int64(len(s.jobs)))
+		s.noteQueueLevel()
 		stop := s.reg.Time("service.job")
-		rec, err := s.analyze(j.digest, j.data)
+		rec, err := s.analyze(j)
 		var raw json.RawMessage
 		if err == nil {
 			raw, err = rec.Marshal()
@@ -504,11 +571,18 @@ func (s *Server) worker() {
 // analyzeAPK is the real work function: optional Bouncer review, then the
 // full pipeline. Both phases join one trace rooted at a "scan" span
 // (ID derived from the digest), stored in the trace store even when the
-// run fails — failed scans are exactly the ones worth inspecting. Every
-// completed analysis feeds the fleet aggregator, and the slow-analysis
-// watchdog flags runs that blow past Config.SlowDeadline.
-func (s *Server) analyzeAPK(digest string, data []byte) (*Record, error) {
+// run fails — failed scans are exactly the ones worth inspecting. A
+// forwarded submission's X-Dydroid-Parent reference is recorded on the
+// root span, so the upstream coordinator can graft this tree under its
+// routing span. Every completed analysis feeds the fleet aggregator, and
+// the slow-analysis watchdog flags runs that blow past
+// Config.SlowDeadline.
+func (s *Server) analyzeAPK(j *job) (*Record, error) {
+	digest, data := j.digest, j.data
 	tr := trace.New("scan", trace.WithID(TraceID(digest)), trace.WithDigest(digest))
+	if j.parent != "" {
+		tr.Root.SetParent(j.parent)
+	}
 	ctx := trace.ContextWith(context.Background(), tr)
 	disarm := s.armWatchdog(digest)
 	res, verdict, err := s.analyzeTraced(ctx, data)

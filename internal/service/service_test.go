@@ -58,7 +58,7 @@ func newStubServer(t *testing.T, cfg Config, analyze func(string, []byte) (*Reco
 		t.Fatal(err)
 	}
 	if analyze != nil {
-		s.analyze = analyze
+		s.analyze = func(j *job) (*Record, error) { return analyze(j.digest, j.data) }
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/dydroid/dydroid/internal/events"
 )
 
 // DashboardData is everything the HTML dashboard renders: the fleet
@@ -56,6 +58,17 @@ type stageRow struct {
 	Mean, P50, P90, P99, Max string
 }
 
+// sloRow is one objective's rendered burn-rate line.
+type sloRow struct {
+	Name       string
+	Target     string
+	Fast, Slow string
+	Budget     string
+	Alert      string
+	// Firing marks a non-ok alert for the status color.
+	Firing bool
+}
+
 type dashView struct {
 	Title   string
 	Refresh int
@@ -63,6 +76,7 @@ type dashView struct {
 	Now     string
 
 	Tiles    []statTile
+	SLO      []sloRow
 	Status   []barRow
 	Prev     []barRow
 	Entities []barRow
@@ -70,6 +84,7 @@ type dashView struct {
 	Slowest  []SlowApp
 	Recent   []RecentDCL
 	Errors   []RecentError
+	Timeline []events.Event
 	Gauges   []KV
 
 	SlowDur func(int64) string
@@ -89,9 +104,10 @@ func RenderDashboard(w io.Writer, d DashboardData) error {
 		Refresh: d.Refresh,
 		Header:  d.Header,
 		Now:     d.Now.UTC().Format(time.RFC3339),
-		Slowest: s.SlowestApps.Entries,
-		Recent:  s.RecentDCL.Entries,
-		Errors:  s.RecentErrors.Entries,
+		Slowest:  s.SlowestApps.Entries,
+		Recent:   s.RecentDCL.Entries,
+		Errors:   s.RecentErrors.Entries,
+		Timeline: s.Events.Entries,
 	}
 	if v.Title == "" {
 		v.Title = "fleet observatory"
@@ -104,6 +120,21 @@ func RenderDashboard(w io.Writer, d DashboardData) error {
 		{Label: "apps with DCL", Value: fmt.Sprintf("%d", s.Counters["apps.dex-dcl"]+s.Counters["apps.native-dcl"])},
 		{Label: "remote code apps", Value: fmt.Sprintf("%d", s.Counters["apps.remote"])},
 		{Label: "malware apps", Value: fmt.Sprintf("%d", s.Counters["apps.malware"]), Alert: s.Counters["apps.malware"] > 0},
+	}
+	for _, r := range s.SLO.Reports(d.Now) {
+		row := sloRow{
+			Name:   r.Name,
+			Target: fmt.Sprintf("%.4g%%", 100*r.Target),
+			Fast:   fmt.Sprintf("%.2f×", r.Fast.BurnRate),
+			Slow:   fmt.Sprintf("%.2f×", r.Slow.BurnRate),
+			Budget: fmt.Sprintf("%.1f%%", 100*r.BudgetUsed),
+			Alert:  r.Alert,
+			Firing: r.Alert != AlertOK,
+		}
+		v.SLO = append(v.SLO, row)
+		v.Tiles = append(v.Tiles, statTile{
+			Label: "SLO " + r.Name, Value: row.Alert, Alert: row.Firing,
+		})
 	}
 	if n, ok := d.Gauges["runtime.goroutines"]; ok {
 		v.Tiles = append(v.Tiles, statTile{Label: "goroutines", Value: fmt.Sprintf("%d", n)})
@@ -300,6 +331,22 @@ var dashTmpl = template.Must(template.New("dash").Funcs(template.FuncMap{
 <div class="tiles">
   {{range .Tiles}}<div class="tile{{if .Alert}} alert{{end}}"><div class="v">{{.Value}}</div><div class="l">{{.Label}}</div></div>{{end}}
 </div>
+
+{{if .SLO}}<section>
+<h2>Service objectives</h2>
+<table>
+<tr><th>objective</th><th>target</th><th>burn 1h</th><th>burn 6h</th><th>budget used</th><th>alert</th></tr>
+{{range .SLO}}<tr><td>{{.Name}}</td><td class="num">{{.Target}}</td><td class="num">{{.Fast}}</td><td class="num">{{.Slow}}</td><td class="num">{{.Budget}}</td><td{{if .Firing}} class="err"{{end}}>{{.Alert}}</td></tr>
+{{end}}</table>
+</section>{{end}}
+
+{{if .Timeline}}<section>
+<h2>Ops timeline</h2>
+<table>
+<tr><th>time</th><th>event</th><th>node</th><th>digest</th><th>detail</th></tr>
+{{range .Timeline}}<tr><td class="dim">{{rfc3339 .Time}}</td><td>{{.Type}}</td><td>{{.Node}}</td><td class="dim">{{shortDigest .Digest}}</td><td>{{.Detail}}</td></tr>
+{{end}}</table>
+</section>{{end}}
 
 {{if .Status}}<section>
 <h2>Apps by status</h2>

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/dydroid/dydroid/internal/events"
 	"github.com/dydroid/dydroid/internal/metrics"
 )
 
@@ -60,6 +61,19 @@ type Snapshot struct {
 	// last DCL loads and analysis failures seen across the fleet.
 	RecentDCL    Ring[RecentDCL]   `json:"recent_dcl"`
 	RecentErrors Ring[RecentError] `json:"recent_errors"`
+
+	// Events is the ops event journal slice riding in the snapshot: node
+	// ejections, failovers, queue saturation, drains, watchdog hits. The
+	// serving daemon fills it from its live journal at snapshot time;
+	// merges select the newest K across shards exactly like the rings.
+	Events events.Log `json:"events"`
+
+	// SLO is the rolling multi-window error-budget state of the declared
+	// objectives (scan availability, analyze latency). Buckets are keyed
+	// by absolute minute and merge by summation — exact while the
+	// retained histories overlap (the TopEntities-style caveat: a bucket
+	// trimmed on one shard but alive on another merges approximately).
+	SLO *SLOState `json:"slo,omitempty"`
 }
 
 // NewSnapshot returns an empty snapshot with the given sketch capacities
@@ -83,6 +97,7 @@ func NewSnapshot(topK, slowest, ring int) *Snapshot {
 		SlowestApps:  TopApps{K: slowest},
 		RecentDCL:    Ring[RecentDCL]{K: ring},
 		RecentErrors: Ring[RecentError]{K: ring},
+		Events:       events.Log{K: events.DefaultCap},
 	}
 }
 
@@ -122,6 +137,14 @@ func Merge(dst, src *Snapshot) error {
 	dst.SlowestApps.Merge(src.SlowestApps)
 	dst.RecentDCL.Merge(src.RecentDCL)
 	dst.RecentErrors.Merge(src.RecentErrors)
+	dst.Events.Merge(src.Events)
+	if src.SLO != nil {
+		if dst.SLO == nil {
+			dst.SLO = src.SLO.clone()
+		} else {
+			dst.SLO.Merge(src.SLO)
+		}
+	}
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/dydroid/dydroid/internal/core"
+	"github.com/dydroid/dydroid/internal/events"
 	"github.com/dydroid/dydroid/internal/trace"
 )
 
@@ -43,6 +44,9 @@ type Options struct {
 	// Ring bounds the recent DCL / recent error rings (default
 	// DefaultRing).
 	Ring int
+	// SLO declares the tracked service objectives (zero values pick the
+	// defaults: 99.9% scan availability, 99% of analyses under 2s).
+	SLO SLOOptions
 }
 
 // Aggregator is the streaming fleet aggregate. All methods are safe for
@@ -55,7 +59,9 @@ type Aggregator struct {
 
 // New creates an empty aggregator.
 func New(opts Options) *Aggregator {
-	return &Aggregator{snap: NewSnapshot(opts.TopK, opts.Slowest, opts.Ring)}
+	snap := NewSnapshot(opts.TopK, opts.Slowest, opts.Ring)
+	snap.SLO = NewSLOState(opts.SLO)
+	return &Aggregator{snap: snap}
 }
 
 // ObserveApp folds one completed analysis into the aggregate. tr, when
@@ -172,6 +178,16 @@ func (a *Aggregator) ObserveApp(res *core.AppResult, tr *trace.Trace) {
 		s.SlowestApps.Observe(SlowApp{
 			Package: res.Package, Digest: tr.Digest, NS: int64(tr.Root.Duration()),
 		})
+		// SLO verdicts: a completed analysis is availability-good; it is
+		// latency-good when the whole run beat the declared threshold. The
+		// trace's end time keys the minute bucket, so shard merges stay
+		// deterministic.
+		if av := s.SLO.find(SLOScanAvailability); av != nil {
+			av.observe(at, true)
+		}
+		if lat := s.SLO.find(SLOAnalyzeLatency); lat != nil {
+			lat.observe(at, int64(tr.Root.Duration()) <= lat.ThresholdNS)
+		}
 	}
 }
 
@@ -210,6 +226,9 @@ func (a *Aggregator) ObserveError(pkg string, err error, tr *trace.Trace) {
 	defer a.mu.Unlock()
 	a.snap.Errors++
 	a.snap.RecentErrors.Observe(RecentError{Time: at, Package: pkg, Err: err.Error()})
+	if av := a.snap.SLO.find(SLOScanAvailability); av != nil {
+		av.observe(at, false)
+	}
 }
 
 // Snapshot returns a deep copy of the current aggregate, safe to
@@ -232,6 +251,8 @@ func (a *Aggregator) Snapshot() *Snapshot {
 		SlowestApps:  TopApps{K: s.SlowestApps.K, Entries: append([]SlowApp(nil), s.SlowestApps.Entries...)},
 		RecentDCL:    Ring[RecentDCL]{K: s.RecentDCL.K, Entries: append([]RecentDCL(nil), s.RecentDCL.Entries...)},
 		RecentErrors: Ring[RecentError]{K: s.RecentErrors.K, Entries: append([]RecentError(nil), s.RecentErrors.Entries...)},
+		Events:       events.Log{K: s.Events.K, Entries: append([]events.Event(nil), s.Events.Entries...)},
+		SLO:          s.SLO.clone(),
 	}
 	for k, v := range s.Counters {
 		cp.Counters[k] = v

@@ -18,6 +18,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"strings"
 	"sync"
 	"time"
 )
@@ -43,13 +44,18 @@ type Event struct {
 // for concurrent use and no-ops on a nil receiver, so callers can thread
 // optional spans without nil checks.
 type Span struct {
-	Name     string    `json:"name"`
-	StartAt  time.Time `json:"start"`
-	EndAt    time.Time `json:"end"`
-	Err      string    `json:"err,omitempty"`
-	Attrs    []Attr    `json:"attrs,omitempty"`
-	Events   []Event   `json:"events,omitempty"`
-	Children []*Span   `json:"children,omitempty"`
+	Name    string    `json:"name"`
+	StartAt time.Time `json:"start"`
+	EndAt   time.Time `json:"end"`
+	// ID, when set, names the span across process boundaries: a caller
+	// forwarding work to another process sends "<traceID>:<spanID>" (the
+	// X-Dydroid-Parent header) so the remote tree can later be grafted
+	// back under this exact span. Most spans never need one.
+	ID       string  `json:"id,omitempty"`
+	Err      string  `json:"err,omitempty"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Events   []Event `json:"events,omitempty"`
+	Children []*Span `json:"children,omitempty"`
 
 	mu sync.Mutex
 }
@@ -85,6 +91,74 @@ func New(name string, opts ...Option) *Trace {
 		t.ID = NewID()
 	}
 	return t
+}
+
+// IDFromDigest derives the deterministic trace ID of a digest-keyed
+// analysis run: its leading 16 hex chars. Both the vetting daemon and the
+// cluster coordinator derive their trace IDs this way, so a client (or a
+// coordinator stitching a cross-node tree) can compute the ID from the
+// digest alone.
+func IDFromDigest(digest string) string {
+	if len(digest) > 16 {
+		return digest[:16]
+	}
+	return digest
+}
+
+// ParentRef encodes a cross-process parent reference ("<traceID>:<spanID>")
+// — the X-Dydroid-Parent header value a forwarding tier sends so the
+// remote process can record which span its local tree belongs under.
+func ParentRef(traceID, spanID string) string { return traceID + ":" + spanID }
+
+// Parent attribute keys recorded on a root span built from an incoming
+// ParentRef (see SetParent).
+const (
+	AttrParentTrace = "parent.trace"
+	AttrParentSpan  = "parent.span"
+)
+
+// SetParent records an incoming ParentRef on the span as parent.trace /
+// parent.span attributes. Malformed or empty refs are ignored — parenting
+// is best-effort observability, never a request error.
+func (s *Span) SetParent(ref string) {
+	if s == nil || ref == "" {
+		return
+	}
+	i := strings.IndexByte(ref, ':')
+	if i <= 0 || i == len(ref)-1 {
+		return
+	}
+	s.SetAttr(AttrParentTrace, ref[:i])
+	s.SetAttr(AttrParentSpan, ref[i+1:])
+}
+
+// Graft attaches child's root under the span of parent whose ID matches
+// the child root's parent.span attribute, stitching a remote subtree back
+// into the tree that forwarded it. When the child carries no usable
+// reference (or no span matches), the child root is appended under
+// parent's root instead, so a stitched read never loses the remote tree.
+// It reports whether an exact parent match was found.
+func Graft(parent, child *Trace) bool {
+	if parent == nil || parent.Root == nil || child == nil || child.Root == nil {
+		return false
+	}
+	want := child.Root.Attr(AttrParentSpan)
+	var target *Span
+	if want != "" {
+		parent.Root.Walk(func(sp *Span) {
+			if target == nil && sp.ID != "" && sp.ID == want {
+				target = sp
+			}
+		})
+	}
+	matched := target != nil
+	if target == nil {
+		target = parent.Root
+	}
+	target.mu.Lock()
+	target.Children = append(target.Children, child.Root)
+	target.mu.Unlock()
+	return matched
 }
 
 // NewID returns a random 16-hex-char trace ID.
@@ -153,6 +227,17 @@ func (s *Span) child(name string) *Span {
 	s.Children = append(s.Children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// StartChild opens a child span directly on s, for callers that manage a
+// trace without threading a context (e.g. the coordinator's per-attempt
+// routing spans). The caller must End it. Nil receivers return nil, which
+// every Span method tolerates.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.child(name)
 }
 
 // SetAttr annotates the span; setting an existing key replaces its value.

@@ -212,3 +212,106 @@ func TestConcurrentSpanUse(t *testing.T) {
 		t.Fatalf("children=%d events=%d, want 8/8", len(root.Children), len(root.Events))
 	}
 }
+
+func TestParentRefRoundTrip(t *testing.T) {
+	ref := ParentRef("abcd1234abcd1234", "ffee0011ffee0011")
+	tr := New("scan")
+	tr.Root.SetParent(ref)
+	if got := tr.Root.Attr(AttrParentTrace); got != "abcd1234abcd1234" {
+		t.Fatalf("parent.trace = %q", got)
+	}
+	if got := tr.Root.Attr(AttrParentSpan); got != "ffee0011ffee0011" {
+		t.Fatalf("parent.span = %q", got)
+	}
+	// Malformed refs are ignored, never recorded half-parsed.
+	for _, bad := range []string{"", "nocolon", ":leading", "trailing:"} {
+		tr := New("scan")
+		tr.Root.SetParent(bad)
+		if tr.Root.Attr(AttrParentTrace) != "" || tr.Root.Attr(AttrParentSpan) != "" {
+			t.Fatalf("ref %q recorded parent attrs", bad)
+		}
+	}
+}
+
+func TestIDFromDigest(t *testing.T) {
+	if got := IDFromDigest("0123456789abcdef0123456789abcdef"); got != "0123456789abcdef" {
+		t.Fatalf("IDFromDigest = %q", got)
+	}
+	if got := IDFromDigest("abc"); got != "abc" {
+		t.Fatalf("short digest = %q", got)
+	}
+}
+
+// TestGraftStitchesUnderMatchingSpan is the cross-process stitching
+// contract: a remote tree whose root carries a parent.span reference is
+// attached under exactly the span with that ID.
+func TestGraftStitchesUnderMatchingSpan(t *testing.T) {
+	route := New("route", WithID("r1"), WithDigest("ab12"))
+	a1 := route.Root.child("attempt")
+	a1.ID = NewID()
+	a1.EndErr(errBoom{})
+	a2 := route.Root.child("attempt")
+	a2.ID = NewID()
+	a2.End()
+	route.Root.End()
+
+	remote := New("scan")
+	remote.Root.SetParent(ParentRef("r1", a2.ID))
+	remote.Root.child("analyze").End()
+	remote.Root.End()
+
+	if !Graft(route, remote) {
+		t.Fatal("Graft found no matching span")
+	}
+	if len(a2.Children) != 1 || a2.Children[0] != remote.Root {
+		t.Fatalf("remote root not under the matching attempt: %+v", a2.Children)
+	}
+	if len(a1.Children) != 0 {
+		t.Fatal("remote root grafted under the failed attempt")
+	}
+	// The stitched tree must survive the JSONL round trip with span IDs
+	// and the grafted subtree intact.
+	var buf strings.Builder
+	if err := EncodeJSONL(&buf, route); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back[0].Root.Find("analyze"); got == nil {
+		t.Fatal("grafted analyze span lost in round trip")
+	}
+	var ids []string
+	back[0].Root.Walk(func(sp *Span) {
+		if sp.ID != "" {
+			ids = append(ids, sp.ID)
+		}
+	})
+	if len(ids) != 2 {
+		t.Fatalf("span IDs lost in round trip: %v", ids)
+	}
+}
+
+// TestGraftFallsBackToRoot: a remote tree with no usable parent reference
+// still lands in the stitched tree, under the root.
+func TestGraftFallsBackToRoot(t *testing.T) {
+	route := New("route")
+	a := route.Root.child("attempt")
+	a.ID = NewID()
+	remote := New("scan")
+	if Graft(route, remote) {
+		t.Fatal("Graft reported a match without a parent ref")
+	}
+	last := route.Root.Children[len(route.Root.Children)-1]
+	if last != remote.Root {
+		t.Fatal("unreferenced remote root not appended under the route root")
+	}
+	if Graft(nil, remote) || Graft(route, nil) {
+		t.Fatal("nil graft reported a match")
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }
