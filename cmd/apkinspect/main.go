@@ -30,6 +30,16 @@
 //
 //	apkinspect cluster status http://coordinator:8437
 //	apkinspect cluster status -json http://coordinator:8437
+//
+// The profile subcommand reads the fleet's continuous-profiling ring —
+// the window index, one window's top-functions table, or the flat
+// self-time regression between two windows (possibly from different
+// nodes, via the coordinator's federated view):
+//
+//	apkinspect profile list -url http://daemon:8437
+//	apkinspect profile top -url http://daemon:8437 w000003
+//	apkinspect profile diff -url http://coordinator:8437 w000002@node1 w000005@node2
+//	apkinspect profile top saved-window.json
 package main
 
 import (
@@ -66,6 +76,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "cluster" {
 		if err := runCluster(os.Stdout, os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "apkinspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		if err := runProfile(os.Stdout, os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "apkinspect:", err)
 			os.Exit(1)
 		}

@@ -9,6 +9,7 @@
 //	dydroidd [-addr :8437] [-workers N] [-queue 64] [-store DIR]
 //	         [-cache 512] [-seed 7] [-events 25] [-no-train] [-no-review]
 //	         [-traces DIR] [-slow-deadline 0] [-logjson]
+//	         [-profile-interval 30s] [-profile-window 250ms] [-profile-cap 32]
 //	dydroidd -coordinator -nodes host1:8437,host2:8437[,...]
 //	         [-addr :8437] [-probe-interval 2s] [-probe-failures 3]
 //
@@ -18,8 +19,13 @@
 // measurement snapshot with SLO state and ops events),
 // GET /v1/events (lifecycle event journal as JSONL),
 // GET /v1/dashboard (self-refreshing HTML fleet dashboard, ?refresh=N),
-// GET /v1/version (build + format versions), and runtime profiling under
-// /debug/pprof/. Submit with curl:
+// GET /v1/version (build + format versions), runtime profiling under
+// /debug/pprof/, and the continuous-profiling ring at GET /v1/profiles
+// (index) and GET /v1/profiles/{id} (full window; ?format=pprof for the
+// raw bytes). A background sampler captures short CPU-profile windows on
+// the -profile-interval cadence; an SLO burn-rate alert or a
+// -slow-deadline watchdog trip captures one immediately, tagged with the
+// offending digest. Submit with curl:
 //
 //	curl --data-binary @app.apk http://localhost:8437/v1/scan
 //	curl http://localhost:8437/v1/result/<digest>
@@ -66,7 +72,9 @@ import (
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/corpus"
 	"github.com/dydroid/dydroid/internal/droidnative"
+	"github.com/dydroid/dydroid/internal/events"
 	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/profile"
 	"github.com/dydroid/dydroid/internal/resultstore"
 	"github.com/dydroid/dydroid/internal/service"
 	"github.com/dydroid/dydroid/internal/telemetry"
@@ -85,6 +93,9 @@ func main() {
 	noReview := flag.Bool("no-review", false, "skip the Bouncer review phase")
 	traceDir := flag.String("traces", "", "trace store directory (empty = in-memory traces only)")
 	slowDeadline := flag.Duration("slow-deadline", 0, "log analyses exceeding this duration with their span tree (0 disables)")
+	profileInterval := flag.Duration("profile-interval", 30*time.Second, "continuous-profiling sampler cadence (0 disables the background sampler; alert-triggered capture stays on)")
+	profileWindow := flag.Duration("profile-window", 250*time.Millisecond, "CPU-profile window duration per capture")
+	profileCap := flag.Int("profile-cap", 32, "retained profile windows (oldest evicted past this)")
 	logJSON := flag.Bool("logjson", false, "structured JSON request logging on stderr")
 	coordinator := flag.Bool("coordinator", false, "run as cluster coordinator instead of a worker (requires -nodes)")
 	nodes := flag.String("nodes", "", "comma-separated worker daemon addresses the coordinator routes across")
@@ -97,6 +108,7 @@ func main() {
 		CacheSize: *cacheSize, Seed: *seed, Events: *events,
 		NoTrain: *noTrain, NoReview: *noReview,
 		TraceDir: *traceDir, SlowDeadline: *slowDeadline, LogJSON: *logJSON,
+		ProfileInterval: *profileInterval, ProfileWindow: *profileWindow, ProfileCap: *profileCap,
 		Coordinator: *coordinator, ProbeInterval: *probeInterval, ProbeFailures: *probeFailures,
 	}
 	if *nodes != "" {
@@ -122,7 +134,14 @@ type daemonOptions struct {
 	TraceDir  string
 	// SlowDeadline arms the service's slow-analysis watchdog (0 = off).
 	SlowDeadline time.Duration
-	LogJSON      bool
+	// ProfileInterval is the continuous-profiling sampler cadence; 0
+	// disables the cadence loop while alert-triggered capture stays on.
+	ProfileInterval time.Duration
+	// ProfileWindow is the CPU-profile duration per captured window.
+	ProfileWindow time.Duration
+	// ProfileCap bounds the retained window ring.
+	ProfileCap int
+	LogJSON    bool
 	// LogWriter overrides the -logjson destination (default os.Stderr);
 	// tests capture the access log here.
 	LogWriter io.Writer
@@ -180,6 +199,16 @@ func run(parent context.Context, o daemonOptions) error {
 		}
 		logger = slog.New(slog.NewJSONHandler(w, nil))
 	}
+	journal := events.NewJournal(0)
+	profiles := profile.New(profile.Options{
+		Node:      nodeName(o.Addr),
+		WindowDur: o.ProfileWindow,
+		Interval:  o.ProfileInterval,
+		Cap:       o.ProfileCap,
+		Journal:   journal,
+		Metrics:   reg,
+		Logger:    logger,
+	})
 	svc, err := service.New(service.Config{
 		Analyzer: core.NewAnalyzer(core.Options{
 			Seed: o.Seed, MonkeyEvents: o.Events, Classifier: clf,
@@ -193,6 +222,8 @@ func run(parent context.Context, o daemonOptions) error {
 		Traces:       traces,
 		Fleet:        telemetry.New(telemetry.Options{}),
 		SlowDeadline: o.SlowDeadline,
+		Journal:      journal,
+		Profiles:     profiles,
 		Logger:       logger,
 		Node:         nodeName(o.Addr),
 	})
@@ -210,6 +241,11 @@ func run(parent context.Context, o daemonOptions) error {
 	// The runtime sampler keeps the dashboard's goroutine/heap gauges live.
 	stopSampler := telemetry.StartRuntimeSampler(ctx, reg, telemetry.DefaultSampleInterval)
 	defer stopSampler()
+	// The continuous-profiling sampler captures cadence windows; alert-
+	// triggered captures work either way.
+	if o.ProfileInterval > 0 {
+		go profiles.Run(ctx)
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -271,12 +307,24 @@ func runCoordinator(parent context.Context, o daemonOptions) error {
 	if err != nil {
 		return err
 	}
+	// The coordinator profiles itself too: its windows join the federated
+	// /v1/profiles index under its own node name.
+	profiles := profile.New(profile.Options{
+		Node:      nodeName(o.Addr),
+		WindowDur: o.ProfileWindow,
+		Interval:  o.ProfileInterval,
+		Cap:       o.ProfileCap,
+		Metrics:   reg,
+		Logger:    logger,
+	})
 	coord, err := cluster.New(cluster.Config{
 		Nodes:         o.Nodes,
 		ProbeInterval: o.ProbeInterval,
 		ProbeFailures: o.ProbeFailures,
 		Metrics:       reg,
 		Traces:        traces,
+		Profiles:      profiles,
+		Node:          nodeName(o.Addr),
 		Logger:        logger,
 	})
 	if err != nil {
@@ -291,6 +339,9 @@ func runCoordinator(parent context.Context, o daemonOptions) error {
 	httpSrv := &http.Server{Handler: coord.Handler()}
 	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if o.ProfileInterval > 0 {
+		go profiles.Run(ctx)
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"github.com/dydroid/dydroid/internal/apk"
 	"github.com/dydroid/dydroid/internal/events"
 	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/profile"
 	"github.com/dydroid/dydroid/internal/trace"
 )
 
@@ -50,6 +52,13 @@ type Config struct {
 	// federated with member journals at GET /v1/events. Nil gets a fresh
 	// default journal.
 	Journal *events.Journal
+	// Profiles, when non-nil, is the coordinator's own continuous-
+	// profiling recorder: its windows join the federated /v1/profiles
+	// index under Node's name next to the member windows. Optional.
+	Profiles *profile.Recorder
+	// Node names the coordinator itself in federated profile rows and
+	// journal events (default "coordinator").
+	Node string
 	// Logger receives membership transitions (eject/rejoin). Optional.
 	Logger *slog.Logger
 }
@@ -119,6 +128,9 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Journal == nil {
 		cfg.Journal = events.NewJournal(0)
 	}
+	if cfg.Node == "" {
+		cfg.Node = "coordinator"
+	}
 	c := &Coordinator{
 		cfg:     cfg,
 		reg:     cfg.Metrics,
@@ -171,6 +183,15 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/events", c.handleEvents)
 	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
 	mux.HandleFunc("GET /v1/cluster/status", c.handleStatus)
+	mux.HandleFunc("GET /v1/profiles", c.handleProfiles)
+	mux.HandleFunc("GET /v1/profiles/{id}", c.handleProfile)
+	mux.HandleFunc("GET /v1/metricz", c.handleMetricz)
+	// The coordinator profiles itself the same way its workers do.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -438,7 +459,7 @@ func (c *Coordinator) proxyRead(w http.ResponseWriter, digest, path string) {
 // relay copies a node response to the client, naming the serving node.
 func relay(w http.ResponseWriter, resp *http.Response, node string) {
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "Retry-After", "X-Dydroid-Trace"} {
+	for _, h := range []string{"Content-Type", "Content-Disposition", "Retry-After", "X-Dydroid-Trace"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"github.com/dydroid/dydroid/internal/profile"
+)
+
+// ProfilesResponse is the coordinator's federated GET /v1/profiles body:
+// every reachable member's profile-window index merged newest first,
+// each row tagged with the member that holds it. Like the federated
+// fleet view, an unreachable node is counted and named instead of
+// failing the request.
+type ProfilesResponse struct {
+	Nodes        int            `json:"nodes"`
+	NodesMissing int            `json:"nodes_missing"`
+	Missing      []string       `json:"missing,omitempty"`
+	Windows      []profile.Meta `json:"windows"`
+}
+
+// handleProfiles federates the profile-window index: every configured
+// member's /v1/profiles is fetched concurrently, each row is stamped
+// with the member's configured name (the address a follow-up
+// /v1/profiles/{id}?node= pin uses), and the union is served newest
+// first.
+func (c *Coordinator) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	list := make([]*member, 0, len(c.members))
+	for _, m := range c.members {
+		list = append(list, m)
+	}
+	c.mu.Unlock()
+
+	type fetched struct {
+		name  string
+		metas []profile.Meta
+		err   error
+	}
+	results := make([]fetched, len(list))
+	var wg sync.WaitGroup
+	for i, m := range list {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			metas, err := c.fetchProfileIndex(r.Context(), m.baseURL)
+			results[i] = fetched{name: m.name, metas: metas, err: err}
+		}(i, m)
+	}
+	wg.Wait()
+
+	var missing []string
+	windows := []profile.Meta{}
+	// The coordinator's own windows join the index under its own name.
+	for _, meta := range c.cfg.Profiles.Index() {
+		meta.Node = c.cfg.Node
+		windows = append(windows, meta)
+	}
+	for _, f := range results {
+		if f.err != nil {
+			missing = append(missing, f.name)
+			c.reg.Add("cluster.profiles.missing", 1)
+			continue
+		}
+		for _, meta := range f.metas {
+			meta.Node = f.name
+			windows = append(windows, meta)
+		}
+	}
+	sort.Strings(missing)
+	sort.Slice(windows, func(i, j int) bool {
+		if !windows[i].StartAt.Equal(windows[j].StartAt) {
+			return windows[i].StartAt.After(windows[j].StartAt)
+		}
+		if windows[i].Node != windows[j].Node {
+			return windows[i].Node < windows[j].Node
+		}
+		return windows[i].ID > windows[j].ID
+	})
+	writeJSON(w, http.StatusOK, ProfilesResponse{
+		Nodes:        len(list),
+		NodesMissing: len(missing),
+		Missing:      missing,
+		Windows:      windows,
+	})
+}
+
+// fetchProfileIndex pulls one member's window index.
+func (c *Coordinator) fetchProfileIndex(ctx context.Context, base string) ([]profile.Meta, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/profiles", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("profiles: status %d", resp.StatusCode)
+	}
+	var metas []profile.Meta
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&metas); err != nil {
+		return nil, fmt.Errorf("profiles: %w", err)
+	}
+	return metas, nil
+}
+
+// handleProfile fetches one captured window from the fleet. Window IDs
+// are per-recorder sequences, so the same ID can exist on several
+// members: ?node= pins the member (the federated index names it), and
+// without a pin the members are walked in name order and the first
+// holder answers. The serving member travels in X-Dydroid-Node, and
+// ?format=pprof passes through to the worker untouched.
+func (c *Coordinator) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	pin := r.URL.Query().Get("node")
+
+	// The coordinator's own ring answers first (or exclusively, when the
+	// pin names the coordinator).
+	if pin == "" || pin == c.cfg.Node {
+		if win := c.cfg.Profiles.Get(id); win != nil {
+			w.Header().Set("X-Dydroid-Node", c.cfg.Node)
+			if r.URL.Query().Get("format") == "pprof" {
+				if len(win.Pprof) == 0 {
+					httpError(w, http.StatusNotFound, "window has no pprof bytes")
+					return
+				}
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Write(win.Pprof)
+				return
+			}
+			writeJSON(w, http.StatusOK, win)
+			return
+		}
+		if pin == c.cfg.Node {
+			httpError(w, http.StatusNotFound, "unknown profile window")
+			return
+		}
+	}
+
+	c.mu.Lock()
+	list := make([]*member, 0, len(c.members))
+	for _, m := range c.members {
+		if pin != "" && m.name != pin {
+			continue
+		}
+		list = append(list, m)
+	}
+	c.mu.Unlock()
+	if len(list) == 0 {
+		httpError(w, http.StatusNotFound, "unknown node: "+pin)
+		return
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+
+	path := "/v1/profiles/" + id
+	if f := r.URL.Query().Get("format"); f != "" {
+		path += "?format=" + f
+	}
+	var lastErr error
+	sawMiss := false
+	for _, m := range list {
+		resp, err := c.client.Get(m.baseURL + path)
+		if err != nil {
+			lastErr = err
+			c.noteForward(m, err)
+			continue
+		}
+		c.noteForward(m, nil)
+		if resp.StatusCode == http.StatusNotFound {
+			sawMiss = true
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		relay(w, resp, m.name)
+		return
+	}
+	switch {
+	case sawMiss:
+		httpError(w, http.StatusNotFound, "unknown profile window")
+	case lastErr != nil:
+		httpError(w, http.StatusBadGateway, "no reachable node for window: "+lastErr.Error())
+	default:
+		httpError(w, http.StatusServiceUnavailable, "no live nodes")
+	}
+}
+
+// handleMetricz serves the coordinator's own metrics registry — the
+// routing, federation and membership counters — as text, or as a
+// Prometheus exposition with ?format=prom.
+func (c *Coordinator) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.reg.WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, c.reg.Snapshot().String())
+}

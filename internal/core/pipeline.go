@@ -20,6 +20,7 @@ import (
 	"github.com/dydroid/dydroid/internal/nativebin"
 	"github.com/dydroid/dydroid/internal/netsim"
 	"github.com/dydroid/dydroid/internal/obfuscation"
+	"github.com/dydroid/dydroid/internal/profile"
 	"github.com/dydroid/dydroid/internal/taint"
 	"github.com/dydroid/dydroid/internal/trace"
 	"github.com/dydroid/dydroid/internal/vm"
@@ -111,10 +112,12 @@ func (a *Analyzer) analyzeAPK(ctx context.Context, apkBytes []byte) (*AppResult,
 	res := &AppResult{}
 
 	_, sUnpack := trace.Start(ctx, "unpack")
+	mUnpack := profile.MeterSpan(sUnpack)
 	tUnpack := time.Now()
 	u, err := a.opts.Tool.Unpack(apkBytes)
 	if err != nil {
 		a.opts.Metrics.Observe("stage.unpack", time.Since(tUnpack))
+		mUnpack()
 		if errors.Is(err, apktool.ErrDecompile) {
 			sUnpack.SetAttr("anti-decompile", "true")
 			sUnpack.End()
@@ -132,6 +135,7 @@ func (a *Analyzer) analyzeAPK(ctx context.Context, apkBytes []byte) (*AppResult,
 	a.opts.Metrics.Observe("stage.unpack", time.Since(tUnpack))
 	sUnpack.SetAttr("dex-dcl", strconv.FormatBool(res.PreFilter.HasDexDCL))
 	sUnpack.SetAttr("native-dcl", strconv.FormatBool(res.PreFilter.HasNativeDCL))
+	mUnpack()
 	sUnpack.End()
 
 	if !res.PreFilter.HasDexDCL && !res.PreFilter.HasNativeDCL && !a.opts.RunDynamicWithoutDCL {
@@ -151,9 +155,11 @@ func (a *Analyzer) analyzeAPK(ctx context.Context, apkBytes []byte) (*AppResult,
 	runPrep := prep
 	if !u.APK.Manifest.HasPermission(apk.WriteExternalStorage) {
 		_, sRewrite := trace.Start(ctx, "rewrite")
+		mRewrite := profile.MeterSpan(sRewrite)
 		tRewrite := time.Now()
 		rewritten, err := a.opts.Tool.RepackParsed(u.APK)
 		a.opts.Metrics.Observe("stage.rewrite", time.Since(tRewrite))
+		mRewrite()
 		if err != nil {
 			if errors.Is(err, apktool.ErrRepack) {
 				sRewrite.SetAttr("anti-repackaging", "true")
@@ -171,6 +177,7 @@ func (a *Analyzer) analyzeAPK(ctx context.Context, apkBytes []byte) (*AppResult,
 	// Dynamic phase, with one retry after cleaning external storage when
 	// the device runs out of space (automatic exception handling).
 	dctx, sDynamic := trace.Start(ctx, "dynamic")
+	mDynamic := profile.MeterSpan(sDynamic)
 	tDynamic := time.Now()
 	run, err := a.runDynamic(dctx, runPrep, nil)
 	if err != nil && isNoSpace(err) {
@@ -181,6 +188,7 @@ func (a *Analyzer) analyzeAPK(ctx context.Context, apkBytes []byte) (*AppResult,
 		})
 	}
 	a.opts.Metrics.Observe("stage.dynamic", time.Since(tDynamic))
+	mDynamic()
 	if err != nil {
 		sDynamic.EndErr(err)
 		return nil, fmt.Errorf("core: %w", err)
@@ -211,6 +219,7 @@ func (a *Analyzer) analyzeAPK(ctx context.Context, apkBytes []byte) (*AppResult,
 	}
 
 	_, sStatic := trace.Start(ctx, "static")
+	mStatic := profile.MeterSpan(sStatic)
 	tStatic := time.Now()
 	a.staticOnIntercepted(res)
 	minSDK := u.APK.Manifest.MinSDK
@@ -218,6 +227,7 @@ func (a *Analyzer) analyzeAPK(ctx context.Context, apkBytes []byte) (*AppResult,
 	a.opts.Metrics.Observe("stage.static", time.Since(tStatic))
 	sStatic.SetAttr("malware", strconv.Itoa(len(res.Malware)))
 	sStatic.SetAttr("vulns", strconv.Itoa(len(res.Vulns)))
+	mStatic()
 	sStatic.End()
 	return res, nil
 }
@@ -332,6 +342,7 @@ func (a *Analyzer) runDynamic(ctx context.Context, prep *PreparedApp, preLaunch 
 	mres := monkey.Exercise(machine, a.opts.MonkeyEvents, a.opts.Seed)
 
 	_, sIntercept := trace.Start(ctx, "interception")
+	mIntercept := profile.MeterSpan(sIntercept)
 	logger.FinalizeInterception()
 	events := logger.Events()
 	tracker.Annotate(events)
@@ -349,6 +360,7 @@ func (a *Analyzer) runDynamic(ctx context.Context, prep *PreparedApp, preLaunch 
 	dumped, err := logger.DumpIntercepted()
 	sIntercept.SetAttr("intercepted", strconv.Itoa(intercepted))
 	sIntercept.SetAttr("dumped", strconv.Itoa(len(dumped)))
+	mIntercept()
 	if err != nil && !isNoSpace(err) {
 		sIntercept.EndErr(err)
 		return nil, err
@@ -467,6 +479,7 @@ func (a *Analyzer) ReplayPreparedContext(ctx context.Context, prep *PreparedApp,
 	}
 	ctx, span := trace.Start(ctx, "replay")
 	span.SetAttr("config", string(cfg))
+	defer profile.MeterSpan(span)()
 	defer a.opts.Metrics.Time("stage.replay")()
 	run, err := a.runDynamic(ctx, prep, func(dev *android.Device) {
 		switch cfg {

@@ -51,7 +51,23 @@ const (
 	DrainFinished Type = "drain-finished"
 	// SlowAnalysis: an analysis outlived the -slow-deadline watchdog.
 	SlowAnalysis Type = "slow-analysis"
+	// ProfileCaptured: an alert (SLO burn rate, watchdog) triggered an
+	// immediate CPU-profile window, tagged with the offending digest.
+	ProfileCaptured Type = "profile-captured"
 )
+
+// knownTypes is the decode-side vocabulary check: a journal line whose
+// kind is outside it is a corrupt or incompatible stream, reported
+// loudly rather than folded silently into an aggregate.
+var knownTypes = map[Type]bool{
+	NodeEjected: true, NodeRejoined: true, ScanFailover: true,
+	QueueDegraded: true, QueueRecovered: true,
+	DrainStarted: true, DrainFinished: true,
+	SlowAnalysis: true, ProfileCaptured: true,
+}
+
+// Known reports whether t is part of the journal vocabulary.
+func (t Type) Known() bool { return knownTypes[t] }
 
 // Event is one timestamped lifecycle transition.
 type Event struct {
@@ -188,7 +204,8 @@ func EncodeJSONL(w io.Writer, evs []Event) error {
 }
 
 // DecodeJSONL reads every event from a JSONL stream. Blank lines are
-// skipped; a malformed line fails the decode with its line number.
+// skipped; a malformed line — truncated JSON or an event kind outside
+// the journal vocabulary — fails the decode with its line number.
 func DecodeJSONL(r io.Reader) ([]Event, error) {
 	var out []Event
 	sc := bufio.NewScanner(r)
@@ -203,6 +220,9 @@ func DecodeJSONL(r io.Reader) ([]Event, error) {
 		var e Event
 		if err := json.Unmarshal(raw, &e); err != nil {
 			return nil, fmt.Errorf("events: line %d: %w", line, err)
+		}
+		if !e.Type.Known() {
+			return nil, fmt.Errorf("events: line %d: unknown event kind %q", line, e.Type)
 		}
 		out = append(out, e)
 	}

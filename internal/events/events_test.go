@@ -173,3 +173,47 @@ func TestJSONLRoundTrip(t *testing.T) {
 		t.Fatal("garbage line decoded")
 	}
 }
+
+// TestDecodeJSONLTruncatedLine: a stream cut mid-object (a crashed
+// writer, a partial download) fails loudly with the offending line
+// number instead of dropping the tail.
+func TestDecodeJSONLTruncatedLine(t *testing.T) {
+	var buf strings.Builder
+	if err := EncodeJSONL(&buf, []Event{synthEvent(0), synthEvent(1)}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.String()
+	// Cut the final line in half, leaving unterminated JSON.
+	cut := whole[:len(whole)-len(whole)/4]
+	_, err := DecodeJSONL(strings.NewReader(cut))
+	if err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the bad line: %v", err)
+	}
+}
+
+// TestDecodeJSONLUnknownKind: well-formed JSON whose kind is outside the
+// journal vocabulary is a corrupt or incompatible stream, rejected with
+// the kind named, not folded silently into an aggregate.
+func TestDecodeJSONLUnknownKind(t *testing.T) {
+	var buf strings.Builder
+	if err := EncodeJSONL(&buf, []Event{synthEvent(0)}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"time":"2026-08-01T00:00:05Z","type":"node-vaporized","node":"w1"}` + "\n")
+	_, err := DecodeJSONL(strings.NewReader(buf.String()))
+	if err == nil {
+		t.Fatal("unknown kind decoded without error")
+	}
+	if !strings.Contains(err.Error(), "unknown event kind") ||
+		!strings.Contains(err.Error(), "node-vaporized") ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error missing kind or line context: %v", err)
+	}
+	// A missing type field is the same vocabulary violation.
+	if _, err := DecodeJSONL(strings.NewReader(`{"time":"2026-08-01T00:00:05Z","node":"w1"}` + "\n")); err == nil {
+		t.Fatal("typeless event decoded without error")
+	}
+}

@@ -1,0 +1,50 @@
+package profile
+
+import (
+	runtimemetrics "runtime/metrics"
+
+	"github.com/dydroid/dydroid/internal/trace"
+)
+
+// Span attribute keys the meter stamps; telemetry parses the same keys
+// into the cost-per-stage table.
+const (
+	AttrCPUNS        = "cpu.ns"
+	AttrAllocBytes   = "alloc.bytes"
+	AttrAllocObjects = "alloc.objects"
+)
+
+// MeterSpan starts resource attribution for one pipeline stage span and
+// returns the stop function that stamps cpu.ns / alloc.bytes /
+// alloc.objects attrs with the deltas observed in between. Call stop
+// before ending the span, on every exit path; extra calls are no-ops.
+//
+// The deltas are process-scoped (getrusage CPU time, runtime/metrics
+// heap allocation totals): with one worker they are the stage's exact
+// cost, under concurrency they are an upper bound that still ranks
+// stages correctly in aggregate because every stage is measured the same
+// way.
+func MeterSpan(sp *trace.Span) (stop func()) {
+	if sp == nil {
+		return func() {}
+	}
+	startCPU := processCPUNanos()
+	var start [2]runtimemetrics.Sample
+	start[0].Name = "/gc/heap/allocs:bytes"
+	start[1].Name = "/gc/heap/allocs:objects"
+	runtimemetrics.Read(start[:])
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		var end [2]runtimemetrics.Sample
+		end[0].Name = start[0].Name
+		end[1].Name = start[1].Name
+		runtimemetrics.Read(end[:])
+		sp.SetIntAttr(AttrCPUNS, maxInt64(0, processCPUNanos()-startCPU))
+		sp.SetIntAttr(AttrAllocBytes, int64(end[0].Value.Uint64()-start[0].Value.Uint64()))
+		sp.SetIntAttr(AttrAllocObjects, int64(end[1].Value.Uint64()-start[1].Value.Uint64()))
+	}
+}

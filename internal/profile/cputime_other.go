@@ -1,0 +1,7 @@
+//go:build !unix
+
+package profile
+
+// processCPUNanos has no portable implementation off unix; attribution
+// degrades to alloc-only there (CPU deltas read as 0).
+func processCPUNanos() int64 { return 0 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/dydroid/dydroid/internal/events"
+	"github.com/dydroid/dydroid/internal/profile"
 	"github.com/dydroid/dydroid/internal/telemetry"
 	"github.com/dydroid/dydroid/internal/trace"
 )
@@ -74,13 +75,18 @@ func (s *Server) writeSLOProm(w io.Writer) {
 
 // handleDashboard renders the self-refreshing HTML fleet dashboard. The
 // refresh interval defaults to 2 s and is tunable per request with
-// ?refresh=N (0 disables the meta refresh).
+// ?refresh=N (0 disables the meta refresh); a non-numeric or negative
+// value is a 400, not a silent fallback.
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	refresh := 2
 	if q := r.URL.Query().Get("refresh"); q != "" {
-		if n, err := strconv.Atoi(q); err == nil && n >= 0 {
-			refresh = n
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest,
+				"refresh must be a non-negative integer number of seconds")
+			return
 		}
+		refresh = n
 	}
 	vi := versionInfo()
 	header := []telemetry.KV{
@@ -102,6 +108,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Header:  header,
 		Snap:    s.fleetSnapshot(),
 		Gauges:  gauges,
+		Profile: s.profileTiles(),
 		Now:     s.now(),
 	})
 }
@@ -171,6 +178,10 @@ func (s *Server) armWatchdog(digest string) func(*trace.Trace) {
 	start := s.now()
 	timer := time.AfterFunc(s.cfg.SlowDeadline, func() {
 		s.reg.Add("service.slow.analyses", 1)
+		// Capture a profile window while the slow analysis is still in
+		// flight — the whole point of the trip wire is to see where the
+		// overrunning run is spending its time.
+		s.cfg.Profiles.TryTrigger(profile.TriggerWatchdog, digest, TraceID(digest))
 		s.watchdogLogger().Warn("analysis exceeding deadline",
 			"digest", digest,
 			"deadline", s.cfg.SlowDeadline.String())
@@ -187,6 +198,7 @@ func (s *Server) armWatchdog(digest string) func(*trace.Trace) {
 		}
 		if stopped {
 			s.reg.Add("service.slow.analyses", 1)
+			s.cfg.Profiles.TryTrigger(profile.TriggerWatchdog, digest, TraceID(digest))
 		}
 		s.cfg.Journal.Record(events.Event{
 			Type: events.SlowAnalysis, Node: s.cfg.Node, Digest: digest,

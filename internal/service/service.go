@@ -41,6 +41,7 @@ import (
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/events"
 	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/profile"
 	"github.com/dydroid/dydroid/internal/resultstore"
 	"github.com/dydroid/dydroid/internal/telemetry"
 	"github.com/dydroid/dydroid/internal/trace"
@@ -81,6 +82,11 @@ type Config struct {
 	// slow analyses), served as JSONL at GET /v1/events and folded into
 	// the /v1/fleet snapshot. Nil gets a fresh default journal.
 	Journal *events.Journal
+	// Profiles, when non-nil, is the continuous-profiling recorder: its
+	// ring is served at GET /v1/profiles[/{id}], the slow-analysis
+	// watchdog and SLO burn-rate alerts trigger captures on it, and its
+	// newest window headlines the dashboard. Optional.
+	Profiles *profile.Recorder
 	// Node names this daemon in journal events (typically its listen
 	// address). Optional.
 	Node string
@@ -178,6 +184,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /v1/profiles", s.handleProfiles)
+	mux.HandleFunc("GET /v1/profiles/{id}", s.handleProfile)
 	// Runtime introspection: profiles, heap, goroutines, execution traces.
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -481,6 +489,7 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		s.writeSLOProm(w)
+		s.writeCostProm(w)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -595,12 +604,16 @@ func (s *Server) analyzeAPK(j *job) (*Record, error) {
 	}
 	if err != nil {
 		s.cfg.Fleet.ObserveError(digest, err, tr)
+		s.sloTriggers(digest)
 		return nil, err
 	}
 	s.cfg.Fleet.ObserveApp(res, tr)
 	if verdict != nil {
 		s.cfg.Fleet.ObserveVerdict(verdict.Approved)
 	}
+	// With this analysis folded in, a burning SLO captures a profile
+	// window tagged with the digest that tipped the burn rate.
+	s.sloTriggers(digest)
 	return NewRecord(digest, res, verdict), nil
 }
 

@@ -50,6 +50,13 @@ type Snapshot struct {
 	// same exponential buckets as internal/metrics.
 	Stages map[string]*Hist `json:"stages,omitempty"`
 
+	// Costs is the per-stage resource attribution table: CPU time and
+	// allocation deltas parsed from the cost attrs the profiling meter
+	// stamps on pipeline stage spans (cpu.ns / alloc.bytes /
+	// alloc.objects). Every field sums, so shard merges reproduce the
+	// single-pass table exactly.
+	Costs map[string]*StageCost `json:"costs,omitempty"`
+
 	// TopEntities is the space-saving sketch of the most common
 	// third-party DCL call sites (the SDK entities of Table IV).
 	TopEntities TopK `json:"top_entities"`
@@ -93,6 +100,7 @@ func NewSnapshot(topK, slowest, ring int) *Snapshot {
 		Shards:       1,
 		Counters:     make(map[string]int64),
 		Stages:       make(map[string]*Hist),
+		Costs:        make(map[string]*StageCost),
 		TopEntities:  TopK{K: topK},
 		SlowestApps:  TopApps{K: slowest},
 		RecentDCL:    Ring[RecentDCL]{K: ring},
@@ -131,6 +139,20 @@ func Merge(dst, src *Snapshot) error {
 			cp := *h
 			cp.Buckets = append([]int64(nil), h.Buckets...)
 			dst.Stages[name] = &cp
+		}
+	}
+	if dst.Costs == nil && len(src.Costs) > 0 {
+		dst.Costs = make(map[string]*StageCost, len(src.Costs))
+	}
+	for name, sc := range src.Costs {
+		if cur, ok := dst.Costs[name]; ok {
+			cur.Count += sc.Count
+			cur.CPUNS += sc.CPUNS
+			cur.AllocBytes += sc.AllocBytes
+			cur.AllocObjects += sc.AllocObjects
+		} else {
+			cp := *sc
+			dst.Costs[name] = &cp
 		}
 	}
 	dst.TopEntities.Merge(src.TopEntities)
@@ -269,6 +291,18 @@ func (h *Hist) Quantile(q float64) time.Duration {
 		}
 	}
 	return time.Duration(h.MaxNS)
+}
+
+// StageCost is the mergeable resource bill of one pipeline stage:
+// how many metered spans were observed and the summed CPU-time and
+// allocation deltas across them. Deltas are process-scoped, so under
+// concurrent workers they are an upper bound per stage; ratios between
+// stages remain comparable because every stage is measured identically.
+type StageCost struct {
+	Count        int64 `json:"count"`
+	CPUNS        int64 `json:"cpu_ns"`
+	AllocBytes   int64 `json:"alloc_bytes"`
+	AllocObjects int64 `json:"alloc_objects"`
 }
 
 // TopEntry is one tracked key of a TopK sketch.

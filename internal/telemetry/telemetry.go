@@ -22,6 +22,7 @@ import (
 
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/events"
+	"github.com/dydroid/dydroid/internal/profile"
 	"github.com/dydroid/dydroid/internal/trace"
 )
 
@@ -174,6 +175,19 @@ func (a *Aggregator) ObserveApp(res *core.AppResult, tr *trace.Trace) {
 				s.Stages[sp.Name] = h
 			}
 			h.Observe(sp.Duration())
+			// Spans the profiling meter stamped contribute to the
+			// cost-per-stage attribution table.
+			if sp.Attr(profile.AttrCPUNS) != "" {
+				sc := s.Costs[sp.Name]
+				if sc == nil {
+					sc = &StageCost{}
+					s.Costs[sp.Name] = sc
+				}
+				sc.Count++
+				sc.CPUNS += sp.IntAttr(profile.AttrCPUNS)
+				sc.AllocBytes += sp.IntAttr(profile.AttrAllocBytes)
+				sc.AllocObjects += sp.IntAttr(profile.AttrAllocObjects)
+			}
 		})
 		s.SlowestApps.Observe(SlowApp{
 			Package: res.Package, Digest: tr.Digest, NS: int64(tr.Root.Duration()),
@@ -247,6 +261,7 @@ func (a *Aggregator) Snapshot() *Snapshot {
 		Errors:       s.Errors,
 		Counters:     make(map[string]int64, len(s.Counters)),
 		Stages:       make(map[string]*Hist, len(s.Stages)),
+		Costs:        make(map[string]*StageCost, len(s.Costs)),
 		TopEntities:  TopK{K: s.TopEntities.K, Entries: append([]TopEntry(nil), s.TopEntities.Entries...)},
 		SlowestApps:  TopApps{K: s.SlowestApps.K, Entries: append([]SlowApp(nil), s.SlowestApps.Entries...)},
 		RecentDCL:    Ring[RecentDCL]{K: s.RecentDCL.K, Entries: append([]RecentDCL(nil), s.RecentDCL.Entries...)},
@@ -262,5 +277,24 @@ func (a *Aggregator) Snapshot() *Snapshot {
 		hc.Buckets = append([]int64(nil), h.Buckets...)
 		cp.Stages[name] = &hc
 	}
+	for name, sc := range s.Costs {
+		scc := *sc
+		cp.Costs[name] = &scc
+	}
 	return cp
+}
+
+// SLOReports evaluates the live SLO state's burn-rate reports at now
+// without deep-copying the whole snapshot — the per-analysis alert check
+// the profile-capture trigger uses.
+func (a *Aggregator) SLOReports(now time.Time) []SLOReport {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.snap.SLO == nil {
+		return nil
+	}
+	return a.snap.SLO.Reports(now)
 }

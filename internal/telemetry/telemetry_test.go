@@ -10,6 +10,7 @@ import (
 
 	"github.com/dydroid/dydroid/internal/core"
 	"github.com/dydroid/dydroid/internal/metrics"
+	"github.com/dydroid/dydroid/internal/profile"
 	"github.com/dydroid/dydroid/internal/trace"
 )
 
@@ -17,7 +18,13 @@ import (
 // "analyze" child, start pinned to base and the given durations.
 func appTrace(digest string, base time.Time, total, analyze time.Duration) *trace.Trace {
 	root := &trace.Span{Name: "app", StartAt: base, EndAt: base.Add(total)}
-	root.Children = []*trace.Span{{Name: "analyze", StartAt: base, EndAt: base.Add(analyze)}}
+	child := &trace.Span{Name: "analyze", StartAt: base, EndAt: base.Add(analyze)}
+	// Deterministic cost attrs, as the profiling meter would stamp them,
+	// so the merge property tests cover the Costs table too.
+	child.SetIntAttr(profile.AttrCPUNS, int64(analyze))
+	child.SetIntAttr(profile.AttrAllocBytes, 4096)
+	child.SetIntAttr(profile.AttrAllocObjects, 16)
+	root.Children = []*trace.Span{child}
 	return &trace.Trace{ID: "t-" + digest, Digest: digest, Root: root}
 }
 
